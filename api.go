@@ -1,0 +1,292 @@
+// Package cdrw is the public API of this repository: a from-scratch Go
+// implementation of CDRW (Community Detection by Random Walks) from Fathi,
+// Molla & Pandurangan, "Efficient Distributed Community Detection in the
+// Stochastic Block Model" (ICDCS 2019), together with every substrate the
+// paper depends on — planted-partition graph generators, random-walk and
+// local-mixing machinery, a CONGEST-model simulator, a k-machine-model
+// converter, Label-Propagation and averaging-dynamics baselines, and the
+// evaluation metrics of the paper's §IV.
+//
+// Quickstart:
+//
+//	ppm, _ := cdrw.NewPPM(cdrw.PPMConfig{N: 2048, R: 2, P: 0.02, Q: 0.0006}, cdrw.NewRNG(1))
+//	res, _ := cdrw.Detect(ppm.Graph, cdrw.WithDelta(ppm.Config.ExpectedConductance()))
+//	for _, det := range res.Detections {
+//		fmt.Println(len(det.Assigned))
+//	}
+//
+// The implementation subpackages live under internal/; this package
+// re-exports the stable surface.
+package cdrw
+
+import (
+	"io"
+
+	"cdrw/internal/baseline"
+	"cdrw/internal/congest"
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/kmachine"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+	"cdrw/internal/viz"
+)
+
+// Graph substrate.
+type (
+	// Graph is an immutable simple undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and produces a Graph.
+	GraphBuilder = graph.Builder
+	// BFSResult is the outcome of a breadth-first search.
+	BFSResult = graph.BFSResult
+)
+
+// NewGraphBuilder returns a builder for a graph with n vertices; duplicate
+// edges and self-loops fail at Build.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewDedupGraphBuilder returns a builder that drops duplicates/self-loops.
+func NewDedupGraphBuilder(n int) *GraphBuilder { return graph.NewDedupBuilder(n) }
+
+// ReadEdgeList parses the "n m" + "u v" edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Deterministic randomness.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Random graph models (§I-B of the paper).
+type (
+	// PPMConfig parameterises the symmetric planted partition model
+	// G(n,p,q) with r equal blocks.
+	PPMConfig = gen.PPMConfig
+	// PPM is a sampled planted-partition graph with ground truth.
+	PPM = gen.PPM
+	// SBMConfig parameterises the general stochastic block model.
+	SBMConfig = gen.SBMConfig
+)
+
+// Gnp samples an Erdős–Rényi graph.
+func Gnp(n int, p float64, r *RNG) (*Graph, error) { return gen.Gnp(n, p, r) }
+
+// NewPPM samples a planted-partition graph.
+func NewPPM(cfg PPMConfig, r *RNG) (*PPM, error) { return gen.NewPPM(cfg, r) }
+
+// NewSBM samples a general stochastic-block-model graph.
+func NewSBM(cfg SBMConfig, r *RNG) (*PPM, error) { return gen.NewSBM(cfg, r) }
+
+// RandomRegular samples a random d-regular simple graph (configuration
+// model with edge-switch repair).
+func RandomRegular(n, d int, r *RNG) (*Graph, error) { return gen.RandomRegular(n, d, r) }
+
+// Random-walk machinery (§I-C).
+type (
+	// Dist is a probability distribution over vertices.
+	Dist = rw.Dist
+	// MixingSet is the outcome of a largest-mixing-set search.
+	MixingSet = rw.MixingSet
+)
+
+// Walk constants of Algorithm 1.
+const (
+	// MixingThreshold is the 1/2e bound of the mixing condition.
+	MixingThreshold = rw.MixingThreshold
+	// GrowthFactor is the 1+1/8e candidate-size growth step.
+	GrowthFactor = rw.GrowthFactor
+)
+
+// Stationary returns the stationary distribution π(v) = d(v)/2m.
+func Stationary(g *Graph) Dist { return rw.Stationary(g) }
+
+// Walk evolves a point distribution from source for the given steps.
+func Walk(g *Graph, source, steps int) (Dist, error) { return rw.Walk(g, source, steps) }
+
+// MixingTime returns the ε-near mixing time from source.
+func MixingTime(g *Graph, source int, eps float64, maxSteps int) (int, error) {
+	return rw.MixingTime(g, source, eps, maxSteps)
+}
+
+// LargestMixingSet finds the largest set satisfying the mixing condition
+// for the distribution p, sweeping candidate sizes from minSize.
+func LargestMixingSet(g *Graph, p Dist, minSize int) (MixingSet, error) {
+	return rw.LargestMixingSet(g, p, minSize)
+}
+
+// LocalMixingTime computes the local mixing time τ_s(β) of Definition 2:
+// the first walk length at which a set of size ≥ n/β mixes.
+func LocalMixingTime(g *Graph, source int, beta float64, minSize, maxSteps int) (int, MixingSet, error) {
+	return rw.LocalMixingTime(g, source, beta, minSize, maxSteps)
+}
+
+// EstimateConductance estimates the sparsest-cut conductance around a
+// source vertex via random-walk sweep cuts; CDRW accepts the estimate as
+// its stop parameter δ when no ground-truth Φ_G is available.
+func EstimateConductance(g *Graph, source, maxSteps int) (float64, error) {
+	return rw.EstimateConductance(g, source, maxSteps)
+}
+
+// SweepCut returns the lowest-conductance prefix of vertices ordered by
+// degree-normalised walk probability, with its conductance.
+func SweepCut(g *Graph, p Dist) ([]int, float64, error) { return rw.SweepCut(g, p) }
+
+// CDRW — the paper's algorithm (reference engine).
+type (
+	// Option customises a CDRW run.
+	Option = core.Option
+	// Result is the output of Detect.
+	Result = core.Result
+	// Detection is one pool iteration's outcome.
+	Detection = core.Detection
+	// CommunityStats carries per-seed diagnostics.
+	CommunityStats = core.CommunityStats
+)
+
+// Detect runs the full CDRW pool loop on g.
+func Detect(g *Graph, opts ...Option) (*Result, error) { return core.Detect(g, opts...) }
+
+// DetectCommunity computes the community containing seed s.
+func DetectCommunity(g *Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
+	return core.DetectCommunity(g, s, opts...)
+}
+
+// DetectParallel detects r communities concurrently (the conclusion's
+// "find communities in parallel, assuming an estimate of r" extension).
+func DetectParallel(g *Graph, r int, opts ...Option) (*Result, error) {
+	return core.DetectParallel(g, r, opts...)
+}
+
+// Re-exported CDRW options.
+var (
+	// WithDelta sets the stop-rule slack δ (paper: the conductance Φ_G).
+	WithDelta = core.WithDelta
+	// WithMinCommunitySize sets the initial candidate size R.
+	WithMinCommunitySize = core.WithMinCommunitySize
+	// WithMaxWalkLength caps the walk length.
+	WithMaxWalkLength = core.WithMaxWalkLength
+	// WithPatience sets the stalled-step tolerance of the stop rule.
+	WithPatience = core.WithPatience
+	// WithSeed fixes the pool-sampling seed.
+	WithSeed = core.WithSeed
+	// WithMixingThreshold overrides the 1/2e bound (ablations only).
+	WithMixingThreshold = core.WithMixingThreshold
+	// WithGrowthFactor overrides the 1+1/8e ladder growth (ablations only).
+	WithGrowthFactor = core.WithGrowthFactor
+)
+
+// Distributed engines.
+type (
+	// CongestNetwork simulates the CONGEST model on an input graph.
+	CongestNetwork = congest.Network
+	// CongestConfig parameterises a distributed CDRW run.
+	CongestConfig = congest.Config
+	// CongestMetrics counts rounds and messages.
+	CongestMetrics = congest.Metrics
+	// CongestResult is the distributed Detect output.
+	CongestResult = congest.Result
+	// KMachineAssignment maps vertices to home machines.
+	KMachineAssignment = kmachine.Assignment
+	// KMachineSimulator converts CONGEST traffic into k-machine rounds.
+	KMachineSimulator = kmachine.Simulator
+	// KMachineResults reports the conversion outcome.
+	KMachineResults = kmachine.Results
+)
+
+// NewCongestNetwork wraps g in a CONGEST simulator with the given per-round
+// worker parallelism.
+func NewCongestNetwork(g *Graph, workers int) *CongestNetwork {
+	return congest.NewNetwork(g, workers)
+}
+
+// DefaultCongestConfig mirrors the reference engine's defaults for an
+// n-vertex graph.
+func DefaultCongestConfig(n int) CongestConfig { return congest.DefaultConfig(n) }
+
+// CongestDetect runs distributed CDRW over the whole network.
+func CongestDetect(nw *CongestNetwork, cfg CongestConfig) (*CongestResult, error) {
+	return congest.Detect(nw, cfg)
+}
+
+// CongestDetectCommunity runs distributed CDRW for one seed.
+func CongestDetectCommunity(nw *CongestNetwork, s int, cfg CongestConfig) ([]int, congest.CommunityStats, error) {
+	return congest.DetectCommunity(nw, s, cfg)
+}
+
+// RandomVertexPartition assigns vertices uniformly to k machines (RVP).
+func RandomVertexPartition(n, k int, r *RNG) (KMachineAssignment, error) {
+	return kmachine.RandomVertexPartition(n, k, r)
+}
+
+// NewKMachineSimulator creates a Conversion-Theorem converter with the
+// given link bandwidth in words per round.
+func NewKMachineSimulator(assign KMachineAssignment, bandwidth int) (*KMachineSimulator, error) {
+	return kmachine.NewSimulator(assign, bandwidth)
+}
+
+// Baselines (§II comparators).
+type (
+	// LPAConfig parameterises Label Propagation.
+	LPAConfig = baseline.LPAConfig
+	// LPAResult is the Label Propagation output.
+	LPAResult = baseline.LPAResult
+	// AveragingConfig parameterises the averaging dynamics.
+	AveragingConfig = baseline.AveragingConfig
+	// AveragingResult is the averaging-dynamics output.
+	AveragingResult = baseline.AveragingResult
+)
+
+// LPA runs synchronous Label Propagation.
+func LPA(g *Graph, cfg LPAConfig) (*LPAResult, error) { return baseline.LPA(g, cfg) }
+
+// Averaging runs the two-community averaging dynamics.
+func Averaging(g *Graph, cfg AveragingConfig) (*AveragingResult, error) {
+	return baseline.Averaging(g, cfg)
+}
+
+// Metrics (§IV).
+type (
+	// DetectionResult pairs a detected community with its seed's truth.
+	DetectionResult = metrics.DetectionResult
+	// Report is a per-detection evaluation table.
+	Report = metrics.Report
+)
+
+// NewReport scores detections against ground truth, row by row.
+func NewReport(results []DetectionResult) (*Report, error) { return metrics.NewReport(results) }
+
+// FScore returns the harmonic mean of precision and recall.
+func FScore(detected, truth []int) float64 { return metrics.FScore(detected, truth) }
+
+// Precision returns |detected ∩ truth| / |detected|.
+func Precision(detected, truth []int) float64 { return metrics.Precision(detected, truth) }
+
+// Recall returns |detected ∩ truth| / |truth|.
+func Recall(detected, truth []int) float64 { return metrics.Recall(detected, truth) }
+
+// TotalFScore averages F-scores over all detections (the paper's headline
+// accuracy metric).
+func TotalFScore(results []DetectionResult) (float64, error) { return metrics.TotalFScore(results) }
+
+// BestMatchFScore scores a seed-free partition against ground truth.
+func BestMatchFScore(detected, truth [][]int) (float64, error) {
+	return metrics.BestMatchFScore(detected, truth)
+}
+
+// NMI returns the normalised mutual information of two labelings.
+func NMI(a, b []int) (float64, error) { return metrics.NMI(a, b) }
+
+// ARI returns the adjusted Rand index of two labelings.
+func ARI(a, b []int) (float64, error) { return metrics.ARI(a, b) }
+
+// Visualisation.
+type VizOptions = viz.Options
+
+// WriteDOT renders g as Graphviz DOT, optionally coloured by community.
+func WriteDOT(w io.Writer, g *Graph, opts VizOptions) error { return viz.WriteDOT(w, g, opts) }

@@ -1,0 +1,160 @@
+package cdrw_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cdrw"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the way a downstream
+// user would: generate, detect, score, render.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := cdrw.PPMConfig{N: 256, R: 2, P: 0.15, Q: 0.002}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cdrw.Detect(ppm.Graph,
+		cdrw.WithDelta(cfg.ExpectedConductance()),
+		cdrw.WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ppm.TruthCommunities()
+	var drs []cdrw.DetectionResult
+	for _, det := range res.Detections {
+		drs = append(drs, cdrw.DetectionResult{
+			Detected: det.Raw,
+			Truth:    truth[ppm.Truth[det.Stats.Seed]],
+		})
+	}
+	f, err := cdrw.TotalFScore(drs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.85 {
+		t.Fatalf("public API detection F=%v, want ≥0.85", f)
+	}
+	var dot bytes.Buffer
+	if err := cdrw.WriteDOT(&dot, ppm.Graph, cdrw.VizOptions{Labels: res.Labels(256)}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestPublicAPIGraphRoundTrip(t *testing.T) {
+	b := cdrw.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cdrw.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cdrw.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 {
+		t.Fatalf("round trip lost edges: %d", back.NumEdges())
+	}
+}
+
+func TestPublicAPIConstants(t *testing.T) {
+	if cdrw.MixingThreshold <= 0.18 || cdrw.MixingThreshold >= 0.19 {
+		t.Fatalf("MixingThreshold = %v", cdrw.MixingThreshold)
+	}
+	if cdrw.GrowthFactor <= 1.04 || cdrw.GrowthFactor >= 1.05 {
+		t.Fatalf("GrowthFactor = %v", cdrw.GrowthFactor)
+	}
+}
+
+func TestPublicAPICongestAndKMachine(t *testing.T) {
+	g, err := cdrw.Gnp(128, 2*7.0/128, cdrw.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := cdrw.RandomVertexPartition(128, 4, cdrw.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cdrw.NewKMachineSimulator(assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := cdrw.NewCongestNetwork(g, 1)
+	nw.SetObserver(sim.Observer())
+	com, stats, err := cdrw.CongestDetectCommunity(nw, 0, cdrw.DefaultCongestConfig(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(com) == 0 || stats.Metrics.Rounds == 0 {
+		t.Fatalf("distributed run empty: |C|=%d metrics=%+v", len(com), stats.Metrics)
+	}
+	if sim.Results().Rounds <= 0 {
+		t.Fatal("k-machine conversion recorded nothing")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	cfg := cdrw.PPMConfig{N: 128, R: 2, P: 0.3, Q: 0.01}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpa, err := cdrw.LPA(ppm.Graph, cdrw.LPAConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := cdrw.NMI(lpa.Labels, ppm.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.5 {
+		t.Fatalf("LPA NMI = %v on an easy instance", nmi)
+	}
+	avg, err := cdrw.Averaging(ppm.Graph, cdrw.AveragingConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg.Side) != 128 {
+		t.Fatalf("averaging output size %d", len(avg.Side))
+	}
+	if _, err := cdrw.ARI(lpa.Labels, ppm.Truth); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWalkPrimitives(t *testing.T) {
+	g, err := cdrw.Gnp(128, 0.2, cdrw.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := cdrw.Stationary(g)
+	if len(pi) != 128 {
+		t.Fatalf("stationary length %d", len(pi))
+	}
+	tm, err := cdrw.MixingTime(g, 0, 0.05, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cdrw.Walk(g, 0, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := cdrw.LargestMixingSet(g, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Found() || ms.Size() < 100 {
+		t.Fatalf("mixed walk should mix on ~the whole graph, got %d", ms.Size())
+	}
+}

@@ -1,0 +1,251 @@
+// Benchmark harness: one testing.B target per figure and complexity claim
+// of the paper (see DESIGN.md's per-experiment index), plus micro-benchmarks
+// of the hot substrate paths. Benchmarks run the Quick experiment scale so
+// `go test -bench=.` completes on a laptop; `cmd/experiments` regenerates
+// the full-size figures.
+package cdrw_test
+
+import (
+	"io"
+	"testing"
+
+	"cdrw"
+	"cdrw/internal/experiments"
+)
+
+// benchConfig returns the per-iteration experiment configuration. Seeds are
+// varied with i so iterations do not share cached state.
+func benchConfig(i int) experiments.Config {
+	return experiments.Config{Trials: 1, Seed: uint64(i + 1), Quick: true}
+}
+
+// BenchmarkFig1PPMGeneration regenerates the Figure 1 graph (PPM n=1000,
+// r=5, p=1/20, q=1/1000) and renders it to DOT.
+func BenchmarkFig1PPMGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig1DOT(io.Discard, true, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2GnpAccuracy regenerates Figure 2: CDRW accuracy on Gnp
+// graphs across sizes and sparsity levels.
+func BenchmarkFig2GnpAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3PPMTwoCommunities regenerates Figure 3: the (p,q) sweep on
+// two-block PPM graphs.
+func BenchmarkFig3PPMTwoCommunities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aVaryCommunities regenerates Figure 4a: accuracy as the
+// number of communities grows with fixed community size.
+func BenchmarkFig4aVaryCommunities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4a(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4bFixedGraph regenerates Figure 4b: accuracy as the number of
+// communities grows with fixed total size.
+func BenchmarkFig4bFixedGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4b(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCongestRounds regenerates the Theorem 5 validation: CONGEST
+// round/message complexity of one community detection.
+func BenchmarkCongestRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CongestRounds(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMachineScaling regenerates the §III-B validation: k-machine
+// rounds as the number of machines grows.
+func BenchmarkKMachineScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.KMachineScaling(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineLPA regenerates the §II comparison: CDRW vs Label
+// Propagation vs averaging dynamics.
+func BenchmarkBaselineLPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baselines(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalMixingGap regenerates the local-vs-global mixing time
+// comparison (the paper's enabling observation).
+func BenchmarkLocalMixingGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LocalMixing(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5 design decisions) ---
+
+// BenchmarkAblationThreshold regenerates the mixing-threshold ablation.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationThreshold(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGrowth regenerates the ladder-growth ablation.
+func BenchmarkAblationGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGrowth(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDelta regenerates the stop-slack ablation.
+func BenchmarkAblationDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDelta(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPatience regenerates the stop-patience ablation.
+func BenchmarkAblationPatience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPatience(benchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrate hot paths ---
+
+func benchPPM(b *testing.B, blockSize int) *cdrw.PPM {
+	b.Helper()
+	s := float64(blockSize)
+	cfg := cdrw.PPMConfig{N: 2 * blockSize, R: 2, P: 0.02, Q: 0.1 / s}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ppm
+}
+
+// BenchmarkPPMGeneration measures the geometric-skip sampler on a sparse
+// 8192-vertex planted partition graph.
+func BenchmarkPPMGeneration(b *testing.B) {
+	cfg := cdrw.PPMConfig{N: 8192, R: 8, P: 0.01, Q: 0.0001}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdrw.NewPPM(cfg, cdrw.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkStep measures one probability-flooding step (the per-round
+// cost of Algorithm 1 lines 9–11).
+func BenchmarkWalkStep(b *testing.B) {
+	ppm := benchPPM(b, 2048)
+	d, err := cdrw.Walk(ppm.Graph, 0, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = d
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdrw.Walk(ppm.Graph, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargestMixingSet measures one full candidate-size sweep
+// (Algorithm 1 lines 12–17) on a mixed distribution.
+func BenchmarkLargestMixingSet(b *testing.B) {
+	ppm := benchPPM(b, 2048)
+	d, err := cdrw.Walk(ppm.Graph, 0, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdrw.LargestMixingSet(ppm.Graph, d, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectCommunity measures the end-to-end single-seed detection on
+// a two-block PPM (the paper's core operation).
+func BenchmarkDetectCommunity(b *testing.B) {
+	ppm := benchPPM(b, 512)
+	delta := ppm.Config.ExpectedConductance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cdrw.DetectCommunity(ppm.Graph, i%1024, cdrw.WithDelta(delta)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCongestDetectCommunity measures the distributed engine on the
+// same workload, including full round/message simulation.
+func BenchmarkCongestDetectCommunity(b *testing.B) {
+	ppm := benchPPM(b, 256)
+	cfg := cdrw.DefaultCongestConfig(512)
+	cfg.Delta = ppm.Config.ExpectedConductance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
+		if _, _, err := cdrw.CongestDetectCommunity(nw, i%512, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPABaseline measures one Label Propagation run on the same
+// two-block PPM workload.
+func BenchmarkLPABaseline(b *testing.B) {
+	ppm := benchPPM(b, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdrw.LPA(ppm.Graph, cdrw.LPAConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

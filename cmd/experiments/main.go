@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's figures and complexity
+// validations as text tables (or TSV), one experiment per -fig value:
+//
+//	experiments -fig 2            # Figure 2: Gnp accuracy vs n
+//	experiments -fig 3            # Figure 3: two-community PPM sweep
+//	experiments -fig 4a -fig 4b   # Figure 4: varying r
+//	experiments -fig 1 -out ppm.dot   # Figure 1: DOT rendering
+//	experiments -fig rounds       # Theorem 5: CONGEST complexity
+//	experiments -fig kmachine     # §III-B: k-machine scaling
+//	experiments -fig baselines    # §II: CDRW vs LPA vs averaging
+//	experiments -fig all          # everything except fig 1
+//
+// -quick shrinks graph sizes for a fast smoke run; the default sizes match
+// the paper's axes (fig 4b runs at n = 8192 and takes a while).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cdrw/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var figs figList
+	fs.Var(&figs, "fig", "figure to regenerate: 1, 2, 3, 4a, 4b, rounds, kmachine, baselines, "+
+		"ablation-{threshold,growth,delta,patience}, ablations, all (repeatable)")
+	var (
+		quick  = fs.Bool("quick", false, "shrink graph sizes for a fast run")
+		trials = fs.Int("trials", 3, "independent samples per data point")
+		seed   = fs.Uint64("seed", 1, "base random seed")
+		tsv    = fs.Bool("tsv", false, "emit TSV instead of aligned tables")
+		output = fs.String("out", "", "write to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(figs) == 0 {
+		figs = figList{"all"}
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+
+	expand := map[string][]string{
+		"all":       {"2", "3", "4a", "4b", "rounds", "kmachine", "baselines", "localmix"},
+		"ablations": {"ablation-threshold", "ablation-growth", "ablation-delta", "ablation-patience"},
+	}
+	var todo []string
+	for _, f := range figs {
+		if more, ok := expand[f]; ok {
+			todo = append(todo, more...)
+		} else {
+			todo = append(todo, f)
+		}
+	}
+
+	for _, name := range todo {
+		var (
+			fig *experiments.Figure
+			err error
+		)
+		switch name {
+		case "1":
+			// DOT output; colours on. Use -out to save it for graphviz.
+			if err := experiments.Fig1DOT(out, true, *seed); err != nil {
+				return fmt.Errorf("fig 1: %w", err)
+			}
+			continue
+		case "2":
+			fig, err = experiments.Fig2(cfg)
+		case "3":
+			fig, err = experiments.Fig3(cfg)
+		case "4a":
+			fig, err = experiments.Fig4a(cfg)
+		case "4b":
+			fig, err = experiments.Fig4b(cfg)
+		case "rounds":
+			fig, err = experiments.CongestRounds(cfg)
+		case "kmachine":
+			fig, err = experiments.KMachineScaling(cfg)
+		case "baselines":
+			fig, err = experiments.Baselines(cfg)
+		case "ablation-threshold":
+			fig, err = experiments.AblationThreshold(cfg)
+		case "ablation-growth":
+			fig, err = experiments.AblationGrowth(cfg)
+		case "ablation-delta":
+			fig, err = experiments.AblationDelta(cfg)
+		case "ablation-patience":
+			fig, err = experiments.AblationPatience(cfg)
+		case "localmix":
+			fig, err = experiments.LocalMixing(cfg)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", name, err)
+		}
+		if *tsv {
+			err = fig.WriteTSV(out)
+		} else {
+			err = fig.WriteTable(out)
+		}
+		if err != nil {
+			return fmt.Errorf("render fig %s: %w", name, err)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph ppm {") {
+		t.Fatalf("fig 1 is not DOT: %.60s", out.String())
+	}
+}
+
+func TestRunQuickFigures(t *testing.T) {
+	for _, fig := range []string{"2", "rounds", "kmachine", "ablation-patience"} {
+		t.Run(fig, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{"-fig", fig, "-quick", "-trials", "1"}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "#") {
+				t.Fatalf("no table header in output: %.80s", out.String())
+			}
+		})
+	}
+}
+
+func TestRunTSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "kmachine", "-quick", "-trials", "1", "-tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], "\t") {
+		t.Fatalf("not TSV: %q", lines[0])
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.txt")
+	var devnull bytes.Buffer
+	if err := run([]string{"-fig", "kmachine", "-quick", "-trials", "1", "-out", path}, &devnull); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("output file empty")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigListFlag(t *testing.T) {
+	var f figList
+	if err := f.Set("2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("3"); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "2,3" {
+		t.Fatalf("figList = %q", f.String())
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cdrw"
+)
+
+func TestGenPPMEdgeList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "ppm", "-n", "100", "-r", "5", "-p", "0.3", "-q", "0.01"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cdrw.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatalf("output is not a valid edge list: %v", err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestGenGnpEdgeList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "gnp", "-n", "50", "-p", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cdrw.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 || g.NumEdges() == 0 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestGenDOTColoured(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "ppm", "-n", "20", "-r", "2", "-p", "0.5", "-q", "0.05", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "graph") {
+		t.Fatalf("not DOT: %.40s", s)
+	}
+	if !strings.Contains(s, "color=") {
+		t.Fatal("expected colours in PPM DOT output")
+	}
+}
+
+func TestGenDOTGnpUncoloured(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "gnp", "-n", "20", "-p", "0.3", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "color=\"#e6") {
+		t.Fatal("Gnp DOT should not be community-coloured")
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-model", "ppm", "-n", "60", "-r", "2", "-p", "0.4", "-q", "0.02", "-seed", "9"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "unknown"}, &out); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-format", "png"}, &out); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-model", "ppm", "-n", "10", "-r", "3"}, &out); err == nil {
+		t.Fatal("indivisible n/r accepted")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// CONGEST simulation: run CDRW as a real message-passing algorithm and
+// report the distributed cost — rounds and O(log n)-bit messages — next to
+// the paper's Theorem 5 bounds, for growing graph sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cdrw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Printf("%-6s %-8s %-10s %-12s %-12s\n", "n", "rounds", "log4(n)", "messages", "msg-bound")
+	for _, blockSize := range []int{128, 256, 512} {
+		s := float64(blockSize)
+		lg := math.Log2(s)
+		cfg := cdrw.PPMConfig{N: 2 * blockSize, R: 2, P: 2 * lg / s, Q: 0.1 / s}
+		ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(3))
+		if err != nil {
+			return err
+		}
+		nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
+		ccfg := cdrw.DefaultCongestConfig(2 * blockSize)
+		ccfg.Delta = cfg.ExpectedConductance()
+
+		com, stats, err := cdrw.CongestDetectCommunity(nw, 0, ccfg)
+		if err != nil {
+			return err
+		}
+		n := float64(2 * blockSize)
+		// Theorem 5: Õ((n²/r)(p+q(r−1))) messages for one community; the
+		// Õ hides the log⁴n round factor, which we make explicit here.
+		msgBound := n * n / 2 * (cfg.P + cfg.Q) * math.Pow(math.Log2(n), 4)
+		fmt.Printf("%-6d %-8d %-10.0f %-12d %-12.0f  |C|=%d\n",
+			2*blockSize, stats.Metrics.Rounds, math.Pow(math.Log2(n), 4),
+			stats.Metrics.Messages, msgBound, len(com))
+	}
+	fmt.Println("\nrounds grow polylogarithmically while n doubles — Theorem 5's shape.")
+	return nil
+}

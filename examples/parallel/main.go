@@ -1,0 +1,66 @@
+// Parallel detection: the extension sketched in the paper's conclusion —
+// given an estimate of r, detect all communities concurrently (one
+// goroutine per seed) instead of sequentially draining the pool, and
+// compare quality and wall-clock against the sequential loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cdrw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const blockSize = 512
+	const r = 4
+	s := float64(blockSize)
+	cfg := cdrw.PPMConfig{
+		N: r * blockSize,
+		R: r,
+		P: 2 * 9.0 / s, // 2·log₂(512)/512
+		Q: 0.1 / s,
+	}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		return err
+	}
+	delta := cfg.ExpectedConductance()
+
+	start := time.Now()
+	seq, err := cdrw.Detect(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(2))
+	if err != nil {
+		return err
+	}
+	seqTime := time.Since(start)
+
+	start = time.Now()
+	par, err := cdrw.DetectParallel(ppm.Graph, r, cdrw.WithDelta(delta), cdrw.WithSeed(2))
+	if err != nil {
+		return err
+	}
+	parTime := time.Since(start)
+
+	n := ppm.Graph.NumVertices()
+	nmiSeq, err := cdrw.NMI(seq.Labels(n), ppm.Truth)
+	if err != nil {
+		return err
+	}
+	nmiPar, err := cdrw.NMI(par.Labels(n), ppm.Truth)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sequential: %2d detections  NMI=%.4f  %v\n", len(seq.Detections), nmiSeq, seqTime)
+	fmt.Printf("parallel:   %2d detections  NMI=%.4f  %v\n", len(par.Detections), nmiPar, parTime)
+	fmt.Printf("\nparallel runs all %d seeds concurrently; on multi-core hosts the\n", r)
+	fmt.Println("wall-clock approaches the cost of a single detection (O(polylog n) rounds")
+	fmt.Println("instead of O(r·polylog n), as the paper's conclusion claims).")
+	return nil
+}

@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"testing"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+)
+
+func twoCliquesWithBridge(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+5, j+5)
+		}
+	}
+	b.AddEdge(4, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLPATwoCliques(t *testing.T) {
+	g := twoCliquesWithBridge(t)
+	res, err := LPA(g, LPAConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := res.Communities()
+	if len(comms) != 2 {
+		t.Fatalf("LPA found %d communities on two cliques, want 2", len(comms))
+	}
+	for _, c := range comms {
+		if len(c) != 5 {
+			t.Fatalf("community sizes %d, want 5+5", len(c))
+		}
+		side := c[0] / 5
+		for _, v := range c {
+			if v/5 != side {
+				t.Fatalf("community %v mixes the cliques", c)
+			}
+		}
+	}
+	if !res.Converged {
+		t.Fatal("LPA did not converge on a trivially clustered graph")
+	}
+}
+
+func TestLPADensePPM(t *testing.T) {
+	// Kothapalli et al.: LPA provably works on dense PPM. Verify high NMI.
+	cfg := gen.PPMConfig{N: 400, R: 2, P: 0.3, Q: 0.01}
+	ppm, err := gen.NewPPM(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LPA(ppm.Graph, LPAConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := metrics.NMI(res.Labels, ppm.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.9 {
+		t.Fatalf("LPA NMI on dense PPM = %v, want ≥0.9", nmi)
+	}
+}
+
+func TestLPAIterationCap(t *testing.T) {
+	g := twoCliquesWithBridge(t)
+	res, err := LPA(g, LPAConfig{MaxIterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	if _, err := LPA(g, LPAConfig{MaxIterations: -5}); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+}
+
+func TestLPADeterministic(t *testing.T) {
+	cfg := gen.PPMConfig{N: 200, R: 2, P: 0.2, Q: 0.02}
+	ppm, err := gen.NewPPM(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LPA(ppm.Graph, LPAConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LPA(ppm.Graph, LPAConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Fatal("LPA not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestLPAIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LPA(g, LPAConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[2] != 2 {
+		t.Fatalf("isolated vertex changed label to %d", res.Labels[2])
+	}
+}
+
+func TestAveragingTwoCliques(t *testing.T) {
+	g := twoCliquesWithBridge(t)
+	ok := false
+	// The random ±1 initialisation can be unlucky; a few seeds must succeed.
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := Averaging(g, AveragingConfig{Seed: seed, Steps: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+		nmi, err := metrics.NMI(res.Side, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi > 0.9 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("averaging dynamics never split the two cliques over 5 seeds")
+	}
+}
+
+func TestAveragingDensePPM(t *testing.T) {
+	cfg := gen.PPMConfig{N: 512, R: 2, P: 0.2, Q: 0.01}
+	ppm, err := gen.NewPPM(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for seed := uint64(0); seed < 3; seed++ {
+		res, err := Averaging(ppm.Graph, AveragingConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nmi, err := metrics.NMI(res.Side, ppm.Truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi > best {
+			best = nmi
+		}
+	}
+	if best < 0.8 {
+		t.Fatalf("averaging best NMI on dense 2-block PPM = %v, want ≥0.8", best)
+	}
+}
+
+func TestAveragingErrors(t *testing.T) {
+	b := graph.NewBuilder(0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Averaging(g, AveragingConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g2 := twoCliquesWithBridge(t)
+	if _, err := Averaging(g2, AveragingConfig{Steps: -1}); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+}
+
+func TestAveragingBalancedSplit(t *testing.T) {
+	cfg := gen.PPMConfig{N: 256, R: 2, P: 0.2, Q: 0.01}
+	ppm, err := gen.NewPPM(cfg, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Averaging(ppm.Graph, AveragingConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := res.Communities()
+	if len(comms) != 2 {
+		t.Fatalf("averaging produced %d sides", len(comms))
+	}
+	// Median split keeps sides within a factor ~2 of each other.
+	a, b := len(comms[0]), len(comms[1])
+	if a < 64 || b < 64 {
+		t.Fatalf("split sizes %d/%d too unbalanced", a, b)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package baseline implements the comparison algorithms the paper discusses
+// in §II: the Label Propagation Algorithm (Raghavan, Albert & Kumara 2007;
+// analysed on dense PPM graphs by Kothapalli, Pemmaraju & Sardeshmukh 2013)
+// and the distributed averaging dynamics of Becchetti et al. (SODA 2017)
+// for two-community bisection. CDRW is benchmarked against both across the
+// paper's parameter grid.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// LPAResult is the output of a Label Propagation run.
+type LPAResult struct {
+	// Labels[v] is the community label of v (labels are arbitrary ints).
+	Labels []int
+	// Iterations is the number of synchronous update rounds performed.
+	Iterations int
+	// Converged reports whether the labeling reached a fixed point before
+	// the iteration cap. LPA has no convergence guarantee (§II notes it can
+	// oscillate forever on bipartite structures), hence the cap.
+	Converged bool
+}
+
+// Communities groups vertices by final label, largest community first.
+func (r *LPAResult) Communities() [][]int {
+	byLabel := make(map[int][]int)
+	for v, l := range r.Labels {
+		byLabel[l] = append(byLabel[l], v)
+	}
+	out := make([][]int, 0, len(byLabel))
+	for _, set := range byLabel {
+		out = append(out, set)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// LPAConfig parameterises Label Propagation.
+type LPAConfig struct {
+	// MaxIterations caps the synchronous rounds (default 100 when 0).
+	MaxIterations int
+	// Seed drives random tie-breaking.
+	Seed uint64
+}
+
+// LPA runs the synchronous Label Propagation Algorithm: every vertex starts
+// in its own community and repeatedly adopts the most frequent label among
+// its neighbours, breaking ties uniformly at random, until no label changes
+// or the iteration cap is hit.
+func LPA(g *graph.Graph, cfg LPAConfig) (*LPAResult, error) {
+	n := g.NumVertices()
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	if maxIter < 0 {
+		return nil, fmt.Errorf("baseline: negative iteration cap %d", maxIter)
+	}
+	r := rng.New(cfg.Seed)
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v
+	}
+	next := make([]int, n)
+	counts := make(map[int]int)
+	var best []int
+	res := &LPAResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for v := 0; v < n; v++ {
+			ns := g.Neighbors(v)
+			if len(ns) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			maxCount := 0
+			for _, w := range ns {
+				l := labels[w]
+				counts[l]++
+				if counts[l] > maxCount {
+					maxCount = counts[l]
+				}
+			}
+			best = best[:0]
+			for l, c := range counts {
+				if c == maxCount {
+					best = append(best, l)
+				}
+			}
+			// Deterministic candidate order before random tie-break keeps
+			// runs reproducible (map iteration order is randomised).
+			sort.Ints(best)
+			choice := best[0]
+			if len(best) > 1 {
+				// Prefer keeping the current label when it ties (standard
+				// LPA damping); otherwise pick uniformly.
+				keep := false
+				for _, l := range best {
+					if l == labels[v] {
+						keep = true
+						break
+					}
+				}
+				if keep {
+					choice = labels[v]
+				} else {
+					choice = best[r.Intn(len(best))]
+				}
+			}
+			next[v] = choice
+			if choice != labels[v] {
+				changed = true
+			}
+		}
+		labels, next = next, labels
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Labels = append([]int(nil), labels...)
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rw"
+)
+
+// This file contains a second, fully concrete execution engine for CONGEST
+// protocols: one goroutine per node, real message values delivered through
+// per-node mailboxes, rounds separated by barriers. It exists to
+// cross-validate the cost-accounting engine in network.go — the two must
+// compute identical protocol results — and to demonstrate the natural
+// goroutines-as-processors embedding of the model. It is slower (it
+// materialises every message), so the experiment harness uses the
+// accounting engine.
+
+// actorMessage is one O(log n)-bit CONGEST message.
+type actorMessage struct {
+	From  int32
+	Value float64
+}
+
+// ActorNetwork executes protocols with one goroutine per node per round.
+type ActorNetwork struct {
+	g       *graph.Graph
+	inbox   [][]actorMessage // inbox[v]: messages delivered to v this round
+	outbox  [][]actorMessage // outbox[v]: messages v sent this round, parallel to sendTo
+	sendTo  [][]int32
+	rounds  int
+	msgs    int64
+	workers int
+}
+
+// NewActorNetwork builds a goroutine-per-node engine over g. workers bounds
+// concurrent node goroutines per round (≤ 1 means one at a time, still via
+// goroutines, preserving the execution structure).
+func NewActorNetwork(g *graph.Graph, workers int) *ActorNetwork {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumVertices()
+	return &ActorNetwork{
+		g:       g,
+		inbox:   make([][]actorMessage, n),
+		outbox:  make([][]actorMessage, n),
+		sendTo:  make([][]int32, n),
+		workers: workers,
+	}
+}
+
+// Metrics returns rounds and message counts, comparable to Network's.
+func (a *ActorNetwork) Metrics() Metrics {
+	return Metrics{Rounds: a.rounds, Messages: a.msgs}
+}
+
+// round runs one synchronous round: every node's handler consumes its
+// inbox and queues outgoing messages; after all handlers return (the
+// barrier), messages are delivered for the next round.
+func (a *ActorNetwork) round(handler func(v int, inbox []actorMessage, send func(to int32, value float64))) {
+	a.rounds++
+	n := a.g.NumVertices()
+	sem := make(chan struct{}, a.workers)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(v int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			a.outbox[v] = a.outbox[v][:0]
+			a.sendTo[v] = a.sendTo[v][:0]
+			handler(v, a.inbox[v], func(to int32, value float64) {
+				a.outbox[v] = append(a.outbox[v], actorMessage{From: int32(v), Value: value})
+				a.sendTo[v] = append(a.sendTo[v], to)
+			})
+		}(v)
+	}
+	wg.Wait()
+	// Barrier passed: deliver. Sequential delivery in node order keeps the
+	// execution deterministic.
+	for v := range a.inbox {
+		a.inbox[v] = a.inbox[v][:0]
+	}
+	for v := 0; v < n; v++ {
+		for i, msg := range a.outbox[v] {
+			to := a.sendTo[v][i]
+			a.inbox[to] = append(a.inbox[to], msg)
+			a.msgs++
+		}
+	}
+}
+
+// FloodDistribution evolves a point distribution from source for the given
+// number of steps using real per-message delivery (Algorithm 1 lines 9–11
+// executed literally). It returns the resulting distribution; it must agree
+// exactly with rw.Walk and Network.floodStep.
+func (a *ActorNetwork) FloodDistribution(source, steps int) (rw.Dist, error) {
+	n := a.g.NumVertices()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("congest: source %d out of range [0,%d): %w",
+			source, n, graph.ErrVertexOutOfRange)
+	}
+	p := make(rw.Dist, n)
+	p[source] = 1
+	for s := 0; s < steps; s++ {
+		a.round(func(v int, _ []actorMessage, send func(to int32, value float64)) {
+			if p[v] == 0 {
+				return
+			}
+			deg := a.g.Degree(v)
+			if deg == 0 {
+				return
+			}
+			// Multiply by the reciprocal (not divide) so the arithmetic
+			// matches Network.floodStep bit for bit.
+			share := p[v] * (1 / float64(deg))
+			for _, w := range a.g.Neighbors(v) {
+				send(w, share)
+			}
+		})
+		// Consume inboxes into the next distribution. Sum in ascending
+		// sender order so floating-point addition matches the reference
+		// gather (Network.floodStep sums over sorted neighbour lists).
+		for v := 0; v < n; v++ {
+			if a.g.Degree(v) == 0 {
+				continue // isolated nodes keep their mass
+			}
+			sum := 0.0
+			sortMessagesByFrom(a.inbox[v])
+			for _, m := range a.inbox[v] {
+				sum += m.Value
+			}
+			p[v] = sum
+		}
+	}
+	return p, nil
+}
+
+// sortMessagesByFrom orders a small inbox by sender id (insertion sort: the
+// inbox of node v holds at most deg(v) messages).
+func sortMessagesByFrom(msgs []actorMessage) {
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgs[j].From < msgs[j-1].From; j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+}
+
+// BuildTreeActor constructs the depth-limited BFS tree with real messages:
+// each round, frontier nodes announce their id; unclaimed receivers adopt
+// the smallest announcing neighbour as parent. The result must match
+// Network.BuildTree exactly.
+func (a *ActorNetwork) BuildTreeActor(root, depthLimit int) (*Tree, error) {
+	n := a.g.NumVertices()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("congest: root %d out of range [0,%d): %w",
+			root, n, graph.ErrVertexOutOfRange)
+	}
+	t := &Tree{Root: root, Parent: make([]int, n), Depth: make([]int, n)}
+	for v := 0; v < n; v++ {
+		t.Parent[v] = -1
+		t.Depth[v] = -1
+	}
+	t.Depth[root] = 0
+	t.Levels = append(t.Levels, []int{root})
+	frontier := map[int]bool{root: true}
+	for d := 0; len(frontier) > 0; d++ {
+		if depthLimit >= 0 && d >= depthLimit {
+			break
+		}
+		a.round(func(v int, _ []actorMessage, send func(to int32, value float64)) {
+			if !frontier[v] {
+				return
+			}
+			for _, w := range a.g.Neighbors(v) {
+				send(w, float64(v))
+			}
+		})
+		next := map[int]bool{}
+		var level []int
+		for v := 0; v < n; v++ {
+			if t.Depth[v] >= 0 || len(a.inbox[v]) == 0 {
+				continue
+			}
+			best := int32(n)
+			for _, m := range a.inbox[v] {
+				if m.From < best {
+					best = m.From
+				}
+			}
+			t.Depth[v] = d + 1
+			t.Parent[v] = int(best)
+			next[v] = true
+			level = append(level, v)
+		}
+		if len(level) > 0 {
+			t.Levels = append(t.Levels, level)
+		}
+		frontier = next
+	}
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package congest
+
+import (
+	"sort"
+	"testing"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rw"
+)
+
+func TestActorFloodMatchesAccountingEngine(t *testing.T) {
+	g := gnpGraph(t, 128, 41)
+	actor := NewActorNetwork(g, 4)
+	got, err := actor.FloodDistribution(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nw := NewNetwork(g, 1)
+	n := g.NumVertices()
+	p := make(rw.Dist, n)
+	p[0] = 1
+	next := make(rw.Dist, n)
+	degInv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			degInv[v] = 1 / float64(d)
+		}
+	}
+	for s := 0; s < 8; s++ {
+		nw.floodStep(p, next, degInv)
+		p, next = next, p
+	}
+	for v := range got {
+		if got[v] != p[v] {
+			t.Fatalf("actor and accounting engines differ at vertex %d: %v vs %v", v, got[v], p[v])
+		}
+	}
+	// Message counts agree too: both account one message per (active node,
+	// neighbour) pair per round.
+	if actor.Metrics().Messages != nw.Metrics().Messages {
+		t.Fatalf("actor sent %d messages, accounting engine %d",
+			actor.Metrics().Messages, nw.Metrics().Messages)
+	}
+	if actor.Metrics().Rounds != 8 {
+		t.Fatalf("actor rounds = %d", actor.Metrics().Rounds)
+	}
+}
+
+func TestActorFloodMatchesReferenceWalk(t *testing.T) {
+	g := gnpGraph(t, 96, 43)
+	actor := NewActorNetwork(g, 2)
+	got, err := actor.FloodDistribution(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rw.Walk(g, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L1(want) > 1e-12 {
+		t.Fatalf("actor distribution L1 distance %v from reference", got.L1(want))
+	}
+}
+
+func TestActorBuildTreeMatches(t *testing.T) {
+	g := gnpGraph(t, 128, 47)
+	actor := NewActorNetwork(g, 4)
+	ta, err := actor.BuildTreeActor(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(g, 1)
+	tb, err := nw.BuildTree(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 128; v++ {
+		if ta.Depth[v] != tb.Depth[v] {
+			t.Fatalf("depth differs at %d: %d vs %d", v, ta.Depth[v], tb.Depth[v])
+		}
+		if ta.Parent[v] != tb.Parent[v] {
+			t.Fatalf("parent differs at %d: %d vs %d", v, ta.Parent[v], tb.Parent[v])
+		}
+	}
+	if len(ta.Levels) != len(tb.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(ta.Levels), len(tb.Levels))
+	}
+	for d := range ta.Levels {
+		la := append([]int(nil), ta.Levels[d]...)
+		lb := append([]int(nil), tb.Levels[d]...)
+		sort.Ints(la)
+		sort.Ints(lb)
+		if len(la) != len(lb) {
+			t.Fatalf("level %d sizes differ", d)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("level %d content differs", d)
+			}
+		}
+	}
+}
+
+func TestActorBuildTreeDepthLimit(t *testing.T) {
+	g := pathGraph(t, 10)
+	actor := NewActorNetwork(g, 1)
+	tree, err := actor.BuildTreeActor(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 5 {
+		t.Fatalf("depth-4 actor tree covers %d, want 5", tree.Size())
+	}
+}
+
+func TestActorErrors(t *testing.T) {
+	g := pathGraph(t, 4)
+	actor := NewActorNetwork(g, 1)
+	if _, err := actor.FloodDistribution(-1, 2); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := actor.BuildTreeActor(17, -1); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestActorIsolatedVertexKeepsMass(t *testing.T) {
+	b := newIsoBuilder(t)
+	actor := NewActorNetwork(b, 1)
+	p, err := actor.FloodDistribution(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[2] != 1 {
+		t.Fatalf("isolated vertex lost mass: %v", p)
+	}
+}
+
+// newIsoBuilder returns a 3-vertex graph where vertex 2 is isolated.
+func newIsoBuilder(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,320 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// Config parameterises a distributed CDRW run. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Delta is the stop-rule slack δ (paper: the graph conductance Φ_G).
+	Delta float64
+	// MinCommunitySize is R, the first candidate mixing-set size.
+	MinCommunitySize int
+	// MaxWalkLength caps the random-walk length.
+	MaxWalkLength int
+	// Patience is the number of consecutive stalled steps that trigger the
+	// stop rule (1 = the paper's rule).
+	Patience int
+	// Seed drives pool sampling in Detect.
+	Seed uint64
+	// Workers sets the per-round parallelism of node-local computation.
+	Workers int
+	// TreeDepthLimit bounds the BFS tree depth; negative means unbounded
+	// (cover the seed's whole component). The paper uses depth O(log n),
+	// which covers the graph when it is connected with logarithmic
+	// diameter (true for the PPM regime p = Ω(log n / n)).
+	TreeDepthLimit int
+}
+
+// DefaultConfig mirrors internal/core's defaults so that the two engines
+// produce identical communities on the same input.
+func DefaultConfig(n int) Config {
+	logN := int(math.Ceil(math.Log2(float64(n + 1))))
+	if logN < 1 {
+		logN = 1
+	}
+	return Config{
+		Delta:            0.1,
+		MinCommunitySize: logN,
+		MaxWalkLength:    4*logN + 4,
+		Patience:         1,
+		Seed:             1,
+		Workers:          1,
+		TreeDepthLimit:   -1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Delta < 0 {
+		return fmt.Errorf("congest: negative delta %v", c.Delta)
+	}
+	if c.MinCommunitySize < 1 || c.MaxWalkLength < 1 || c.Patience < 1 {
+		return fmt.Errorf("congest: config must be positive (minSize=%d maxLen=%d patience=%d)",
+			c.MinCommunitySize, c.MaxWalkLength, c.Patience)
+	}
+	return nil
+}
+
+// CommunityStats mirrors core.CommunityStats with CONGEST cost counters.
+type CommunityStats struct {
+	Seed         int
+	WalkLength   int
+	Stopped      bool
+	FinalSetSize int
+	TreeDepth    int
+	Metrics      Metrics // rounds/messages consumed by this community
+}
+
+// DetectCommunity runs the distributed Algorithm 1 for one seed: build the
+// BFS tree, evolve the walk distribution by per-round flooding, search the
+// largest local mixing set at every length via distributed binary search,
+// and stop when the set size stalls. It returns the community (sorted) and
+// cost statistics.
+func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, CommunityStats{}, err
+	}
+	if err := nw.checkVertex(s); err != nil {
+		return nil, CommunityStats{}, err
+	}
+	g := nw.Graph()
+	n := g.NumVertices()
+	startMetrics := nw.Metrics()
+	stats := CommunityStats{Seed: s}
+
+	tree, err := nw.BuildTree(s, cfg.TreeDepthLimit)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.TreeDepth = tree.MaxDepth()
+	covered := make([]int32, 0, tree.Size())
+	for _, lvl := range tree.Levels {
+		for _, v := range lvl {
+			covered = append(covered, int32(v))
+		}
+	}
+	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
+
+	// Walk state (node-local in the real protocol).
+	p := make(rw.Dist, n)
+	p[s] = 1
+	next := make(rw.Dist, n)
+	x := make([]float64, n)
+
+	degInv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			degInv[v] = 1 / float64(d)
+		}
+	}
+
+	var prevSet []int
+	stalled := 0
+	finish := func(set []int, stoppedByRule bool) ([]int, CommunityStats, error) {
+		stats.Stopped = stoppedByRule
+		out := withSeed(set, s)
+		stats.FinalSetSize = len(out)
+		stats.Metrics = nw.Metrics()
+		stats.Metrics.Rounds -= startMetrics.Rounds
+		stats.Metrics.Messages -= startMetrics.Messages
+		return out, stats, nil
+	}
+
+	ladder := rw.SizeLadder(cfg.MinCommunitySize, n)
+	for l := 1; l <= cfg.MaxWalkLength; l++ {
+		stats.WalkLength = l
+		nw.floodStep(p, next, degInv)
+		p, next = next, p
+
+		curSet := nw.largestMixingSet(tree, covered, p, x, ladder)
+		if prevSet != nil && curSet != nil {
+			grown := float64(len(curSet)) >= (1+cfg.Delta)*float64(len(prevSet))
+			if !grown {
+				stalled++
+				if stalled >= cfg.Patience {
+					return finish(prevSet, true)
+				}
+				continue
+			}
+			stalled = 0
+		}
+		if curSet != nil {
+			prevSet = curSet
+		}
+	}
+	if prevSet != nil {
+		return finish(prevSet, false)
+	}
+	return finish([]int{s}, false)
+}
+
+// floodStep performs one communication round of probability flooding
+// (Algorithm 1 lines 9–11): every node holding probability mass sends
+// p(v)/d(v) to each neighbour; every node sums what it receives.
+func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
+	g := nw.Graph()
+	round := nw.beginRound()
+	for v, mass := range p {
+		if mass != 0 && g.Degree(v) > 0 {
+			nw.sendAllNeighbors(v)
+		}
+	}
+	nw.parallelFor(len(next), func(u int) {
+		sum := 0.0
+		for _, w := range g.Neighbors(u) {
+			sum += p[w] * degInv[w]
+		}
+		if g.Degree(u) == 0 {
+			sum = p[u] // isolated nodes keep their mass
+		}
+		next[u] = sum
+	})
+	nw.endRound(round)
+}
+
+// largestMixingSet runs the candidate-size sweep of Algorithm 1 lines 12–17
+// over the tree-covered nodes and returns the largest set satisfying the
+// mixing condition, or nil. Membership is materialised by one extra
+// broadcast of the winning threshold key, after which every node knows
+// locally whether it belongs to S_ℓ.
+func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []float64, ladder []int) []int {
+	g := nw.Graph()
+	n := g.NumVertices()
+	vol := float64(g.Volume())
+	var (
+		bestThreshold key
+		bestSize      int
+		found         bool
+		bestX         = math.NaN() // µ' of winning size, for re-deriving x
+	)
+	for _, size := range ladder {
+		muPrime := vol / float64(n) * float64(size)
+		nw.parallelFor(n, func(u int) {
+			if muPrime == 0 {
+				x[u] = math.Abs(p[u] - 1/float64(size))
+				return
+			}
+			x[u] = math.Abs(p[u] - float64(g.Degree(u))/muPrime)
+		})
+		threshold, sum, ok := nw.selectKSmallest(tree, covered, x, size)
+		if ok && sum < rw.MixingThreshold {
+			bestThreshold = threshold
+			bestSize = size
+			bestX = muPrime
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	// Materialise membership: the root broadcasts the winning (size,
+	// threshold); every covered node recomputes its x for that size and
+	// compares. One broadcast round-trip.
+	nw.Broadcast(tree)
+	set := make([]int, 0, bestSize)
+	for _, v := range covered {
+		var xv float64
+		if bestX == 0 {
+			xv = math.Abs(p[v] - 1/float64(bestSize))
+		} else {
+			xv = math.Abs(p[v] - float64(g.Degree(int(v)))/bestX)
+		}
+		k := key{x: xv, id: v}
+		if keyLess(k, bestThreshold) || k == bestThreshold {
+			set = append(set, int(v))
+		}
+	}
+	return set
+}
+
+// withSeed inserts s into the sorted set if missing (the paper's community
+// C_s contains s by definition).
+func withSeed(set []int, s int) []int {
+	i := sort.SearchInts(set, s)
+	if i < len(set) && set[i] == s {
+		return set
+	}
+	out := make([]int, 0, len(set)+1)
+	out = append(out, set[:i]...)
+	out = append(out, s)
+	out = append(out, set[i:]...)
+	return out
+}
+
+// Detection mirrors core.Detection for the distributed engine.
+type Detection struct {
+	Raw      []int
+	Assigned []int
+	Stats    CommunityStats
+}
+
+// Result is the output of a full distributed Detect run.
+type Result struct {
+	Detections []Detection
+	// Metrics aggregates rounds/messages over all detections.
+	Metrics Metrics
+}
+
+// Partition returns the Assigned sets.
+func (r *Result) Partition() [][]int {
+	out := make([][]int, len(r.Detections))
+	for i := range r.Detections {
+		out[i] = r.Detections[i].Assigned
+	}
+	return out
+}
+
+// Detect runs the distributed CDRW pool loop (Algorithm 1 lines 1–23),
+// detecting communities one seed at a time until every vertex is assigned.
+// Seed sampling matches internal/core.Detect exactly, so on a connected
+// graph the two engines emit identical communities.
+func Detect(nw *Network, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := nw.Graph().NumVertices()
+	r := rng.New(cfg.Seed)
+	assigned := make([]bool, n)
+	pool := make([]int, n)
+	for v := range pool {
+		pool[v] = v
+	}
+	res := &Result{}
+	before := nw.Metrics()
+	for len(pool) > 0 {
+		s := pool[r.Intn(len(pool))]
+		community, stats, err := DetectCommunity(nw, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("congest: community of seed %d: %w", s, err)
+		}
+		kept := make([]int, 0, len(community))
+		for _, v := range community {
+			if !assigned[v] {
+				kept = append(kept, v)
+				assigned[v] = true
+			}
+		}
+		if !assigned[s] {
+			kept = append(kept, s)
+			assigned[s] = true
+		}
+		res.Detections = append(res.Detections, Detection{Raw: community, Assigned: kept, Stats: stats})
+		nextPool := pool[:0]
+		for _, v := range pool {
+			if !assigned[v] {
+				nextPool = append(nextPool, v)
+			}
+		}
+		pool = nextPool
+	}
+	res.Metrics = nw.Metrics()
+	res.Metrics.Rounds -= before.Rounds
+	res.Metrics.Messages -= before.Messages
+	return res, nil
+}

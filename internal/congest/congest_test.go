@@ -1,0 +1,458 @@
+package congest
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gnpGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	p := 2 * gen.Log2(n) / float64(n)
+	g, err := gen.Gnp(n, p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildTreeCoversComponent(t *testing.T) {
+	g := gnpGraph(t, 256, 1)
+	nw := NewNetwork(g, 1)
+	tree, err := nw.BuildTree(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 256 {
+		t.Fatalf("tree covers %d of 256 vertices", tree.Size())
+	}
+	// Rounds = number of levels built, plus one final round in which the
+	// deepest frontier's announcements discover nothing new.
+	if got := nw.Metrics().Rounds; got != tree.MaxDepth() && got != tree.MaxDepth()+1 {
+		t.Fatalf("BFS took %d rounds for depth %d", got, tree.MaxDepth())
+	}
+	// Parent depths are consistent.
+	for v := 0; v < 256; v++ {
+		if v == tree.Root {
+			continue
+		}
+		p := tree.Parent[v]
+		if p < 0 || tree.Depth[v] != tree.Depth[p]+1 {
+			t.Fatalf("vertex %d: parent %d depth %d vs %d", v, p, tree.Depth[v], tree.Depth[p])
+		}
+	}
+}
+
+func TestBuildTreeDepthLimit(t *testing.T) {
+	g := pathGraph(t, 10)
+	nw := NewNetwork(g, 1)
+	tree, err := nw.BuildTree(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 4 {
+		t.Fatalf("depth-3 tree on a path covers %d vertices, want 4", tree.Size())
+	}
+	if tree.Covered(5) {
+		t.Fatal("vertex beyond depth limit covered")
+	}
+}
+
+func TestBuildTreeBadRoot(t *testing.T) {
+	g := pathGraph(t, 4)
+	nw := NewNetwork(g, 1)
+	if _, err := nw.BuildTree(9, -1); !errors.Is(err, graph.ErrVertexOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBroadcastConvergecastCosts(t *testing.T) {
+	g := pathGraph(t, 8) // tree = path, depth 7
+	nw := NewNetwork(g, 1)
+	tree, err := nw.BuildTree(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nw.Metrics()
+	nw.Broadcast(tree)
+	afterB := nw.Metrics()
+	if rounds := afterB.Rounds - base.Rounds; rounds != 7 {
+		t.Fatalf("broadcast rounds = %d, want 7", rounds)
+	}
+	if msgs := afterB.Messages - base.Messages; msgs != 7 {
+		t.Fatalf("broadcast messages = %d, want 7 (one per tree edge)", msgs)
+	}
+	nw.Convergecast(tree)
+	afterC := nw.Metrics()
+	if rounds := afterC.Rounds - afterB.Rounds; rounds != 7 {
+		t.Fatalf("convergecast rounds = %d, want 7", rounds)
+	}
+	if msgs := afterC.Messages - afterB.Messages; msgs != 7 {
+		t.Fatalf("convergecast messages = %d, want 7", msgs)
+	}
+}
+
+func TestFloodStepMatchesRWStep(t *testing.T) {
+	g := gnpGraph(t, 128, 3)
+	nw := NewNetwork(g, 1)
+	n := g.NumVertices()
+	p := make(rw.Dist, n)
+	p[5] = 1
+	next := make(rw.Dist, n)
+	degInv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			degInv[v] = 1 / float64(d)
+		}
+	}
+	want, err := rw.NewPointDist(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make(rw.Dist, n)
+	for step := 0; step < 10; step++ {
+		nw.floodStep(p, next, degInv)
+		p, next = next, p
+		want, scratch = rw.Step(g, want, scratch), want
+		if p.L1(want) > 1e-12 {
+			t.Fatalf("flooding diverges from reference at step %d: L1=%v", step+1, p.L1(want))
+		}
+	}
+}
+
+func TestFloodStepMessageAccounting(t *testing.T) {
+	g := pathGraph(t, 5)
+	nw := NewNetwork(g, 1)
+	p := rw.Dist{0, 0, 1, 0, 0}
+	next := make(rw.Dist, 5)
+	degInv := []float64{1, 0.5, 0.5, 0.5, 1}
+	nw.floodStep(p, next, degInv)
+	m := nw.Metrics()
+	if m.Rounds != 1 {
+		t.Fatalf("flood step took %d rounds, want 1", m.Rounds)
+	}
+	// Only vertex 2 is active, degree 2 → 2 messages.
+	if m.Messages != 2 {
+		t.Fatalf("flood step sent %d messages, want 2", m.Messages)
+	}
+}
+
+func TestSelectKSmallestMatchesReference(t *testing.T) {
+	g := gnpGraph(t, 128, 7)
+	nw := NewNetwork(g, 1)
+	tree, err := nw.BuildTree(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]int32, 0, tree.Size())
+	for _, lvl := range tree.Levels {
+		for _, v := range lvl {
+			covered = append(covered, int32(v))
+		}
+	}
+	r := rng.New(9)
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(r.Intn(20)) / 20 // deliberately many ties
+	}
+	for _, k := range []int{1, 2, 7, 64, 127, 128} {
+		threshold, sum, ok := nw.selectKSmallest(tree, covered, x, k)
+		if !ok {
+			t.Fatalf("k=%d: selection failed", k)
+		}
+		wantSet, wantSum := rw.SmallestK(x, k)
+		if math.Abs(sum-wantSum) > 1e-9 {
+			t.Fatalf("k=%d: sum %v, want %v", k, sum, wantSum)
+		}
+		// Membership derived from the threshold matches the reference set.
+		var got []int
+		for _, v := range covered {
+			kk := key{x: x[v], id: v}
+			if keyLess(kk, threshold) || kk == threshold {
+				got = append(got, int(v))
+			}
+		}
+		sort.Ints(got)
+		if len(got) != len(wantSet) {
+			t.Fatalf("k=%d: selected %d nodes, want %d", k, len(got), len(wantSet))
+		}
+		for i := range got {
+			if got[i] != wantSet[i] {
+				t.Fatalf("k=%d: selection differs at %d: %d vs %d", k, i, got[i], wantSet[i])
+			}
+		}
+	}
+}
+
+func TestSelectKSmallestEdgeCases(t *testing.T) {
+	g := pathGraph(t, 4)
+	nw := NewNetwork(g, 1)
+	tree, err := nw.BuildTree(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := []int32{0, 1, 2, 3}
+	x := []float64{0.4, 0.3, 0.2, 0.1}
+	if _, _, ok := nw.selectKSmallest(tree, covered, x, 0); ok {
+		t.Fatal("k=0 succeeded")
+	}
+	if _, _, ok := nw.selectKSmallest(tree, covered, x, 5); ok {
+		t.Fatal("k>covered succeeded")
+	}
+	th, sum, ok := nw.selectKSmallest(tree, covered, x, 4)
+	if !ok || math.Abs(sum-1.0) > 1e-12 {
+		t.Fatalf("k=n: ok=%v sum=%v", ok, sum)
+	}
+	if th.id != 0 || th.x != 0.4 {
+		t.Fatalf("k=n threshold = %+v, want max key", th)
+	}
+}
+
+func TestDetectCommunityMatchesCore(t *testing.T) {
+	// The distributed engine must produce exactly the same community as the
+	// in-memory reference on a connected graph.
+	cfgGen := gen.PPMConfig{N: 512, R: 2, P: 2 * gen.Log2(256) / 256, Q: 0.1 / 256}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ppm.Graph.IsConnected() {
+		t.Skip("sample disconnected; equivalence only defined on connected graphs")
+	}
+	delta := cfgGen.ExpectedConductance()
+	for _, seed := range []int{0, 77, 300, 511} {
+		want, _, err := core.DetectCommunity(ppm.Graph, seed, core.WithDelta(delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := NewNetwork(ppm.Graph, 1)
+		cfg := DefaultConfig(512)
+		cfg.Delta = delta
+		got, stats, err := DetectCommunity(nw, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: congest |C|=%d, core |C|=%d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: sets differ at position %d", seed, i)
+			}
+		}
+		if stats.Metrics.Rounds <= 0 || stats.Metrics.Messages <= 0 {
+			t.Fatalf("seed %d: no cost recorded: %+v", seed, stats.Metrics)
+		}
+	}
+}
+
+func TestDetectMatchesCore(t *testing.T) {
+	cfgGen := gen.PPMConfig{N: 256, R: 2, P: 2 * gen.Log2(128) / 128, Q: 0.1 / 128}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ppm.Graph.IsConnected() {
+		t.Skip("sample disconnected")
+	}
+	delta := cfgGen.ExpectedConductance()
+	want, err := core.Detect(ppm.Graph, core.WithDelta(delta), core.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(ppm.Graph, 1)
+	cfg := DefaultConfig(256)
+	cfg.Delta = delta
+	cfg.Seed = 5
+	got, err := Detect(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Detections) != len(want.Detections) {
+		t.Fatalf("congest made %d detections, core %d", len(got.Detections), len(want.Detections))
+	}
+	for i := range got.Detections {
+		a, b := got.Detections[i].Raw, want.Detections[i].Raw
+		if len(a) != len(b) {
+			t.Fatalf("detection %d sizes: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("detection %d differs at %d", i, j)
+			}
+		}
+	}
+	if got.Metrics.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestParallelExecutorMatchesSequential(t *testing.T) {
+	g := gnpGraph(t, 256, 17)
+	if !g.IsConnected() {
+		t.Skip("sample disconnected")
+	}
+	cfg := DefaultConfig(256)
+	seq, _, err := DetectCommunity(NewNetwork(g, 1), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, _, err := DetectCommunity(NewNetwork(g, 4), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel |C|=%d, sequential |C|=%d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel executor changed the result at %d", i)
+		}
+	}
+}
+
+func TestRoundComplexityPolylog(t *testing.T) {
+	// Theorem 5: one community costs O(log⁴ n) rounds. Check that measured
+	// rounds grow far slower than linearly: quadrupling n should much less
+	// than quadruple the rounds.
+	rounds := make(map[int]int)
+	for _, n := range []int{256, 1024} {
+		g := gnpGraph(t, n, 19)
+		nw := NewNetwork(g, 1)
+		_, stats, err := DetectCommunity(nw, 0, DefaultConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[n] = stats.Metrics.Rounds
+	}
+	ratio := float64(rounds[1024]) / float64(rounds[256])
+	if ratio > 2.5 {
+		t.Fatalf("rounds grew by %vx for 4x vertices: %v — not polylog", ratio, rounds)
+	}
+}
+
+func TestDetectCommunityConfigValidation(t *testing.T) {
+	g := pathGraph(t, 4)
+	nw := NewNetwork(g, 1)
+	bad := DefaultConfig(4)
+	bad.Delta = -1
+	if _, _, err := DetectCommunity(nw, 0, bad); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	bad = DefaultConfig(4)
+	bad.Patience = 0
+	if _, _, err := DetectCommunity(nw, 0, bad); err == nil {
+		t.Fatal("zero patience accepted")
+	}
+	if _, _, err := DetectCommunity(nw, 99, DefaultConfig(4)); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestObserverSeesAllMessages(t *testing.T) {
+	g := gnpGraph(t, 128, 23)
+	nw := NewNetwork(g, 1)
+	var observed int64
+	roundsSeen := 0
+	nw.SetObserver(func(round int, msgs []Traffic) {
+		roundsSeen++
+		observed += int64(len(msgs))
+		for _, m := range msgs {
+			if m.From < 0 || int(m.From) >= 128 || m.To < 0 || int(m.To) >= 128 {
+				t.Fatalf("message with bad endpoints: %+v", m)
+			}
+		}
+	})
+	_, stats, err := DetectCommunity(nw, 0, DefaultConfig(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != stats.Metrics.Messages {
+		t.Fatalf("observer saw %d messages, metrics say %d", observed, stats.Metrics.Messages)
+	}
+	if roundsSeen != stats.Metrics.Rounds {
+		t.Fatalf("observer saw %d rounds, metrics say %d", roundsSeen, stats.Metrics.Rounds)
+	}
+}
+
+func TestDetectAccuracy(t *testing.T) {
+	cfgGen := gen.PPMConfig{N: 256, R: 2, P: 2 * gen.Log2(128) / 128, Q: 0.1 / 128}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(ppm.Graph, 1)
+	cfg := DefaultConfig(256)
+	cfg.Delta = cfgGen.ExpectedConductance()
+	res, err := Detect(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ppm.TruthCommunities()
+	var drs []metrics.DetectionResult
+	for _, det := range res.Detections {
+		drs = append(drs, metrics.DetectionResult{
+			Detected: det.Raw,
+			Truth:    truth[ppm.Truth[det.Stats.Seed]],
+		})
+	}
+	f, err := metrics.TotalFScore(drs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.8 {
+		t.Fatalf("distributed detection F-score %v, want ≥0.8", f)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Rounds: 2, Messages: 10}
+	a.Add(Metrics{Rounds: 3, Messages: 5})
+	if a.Rounds != 5 || a.Messages != 15 {
+		t.Fatalf("Add gave %+v", a)
+	}
+}
+
+func TestMidKeyProgress(t *testing.T) {
+	// midKey must return a key strictly below hi (or equal to lo) so the
+	// binary search always makes progress.
+	cases := []struct{ lo, hi key }{
+		{key{0, 1}, key{1, 2}},
+		{key{0.5, 3}, key{0.5, 9}},
+		{key{math.Nextafter(1, 2), 0}, key{math.Nextafter(1, 2), 100}},
+		{key{1, 0}, key{math.Nextafter(1, 2), 0}}, // adjacent floats
+	}
+	for _, tc := range cases {
+		mid := midKey(tc.lo, tc.hi)
+		if !keyLess(mid, tc.hi) && mid != tc.hi {
+			// mid may equal (lo.x, MaxInt32) which can exceed hi only via id;
+			// the select loop handles that by shrinking with maxLe. The key
+			// requirement is mid.x < hi.x or mid.x == lo.x.
+			if mid.x >= tc.hi.x && mid.x != tc.lo.x {
+				t.Fatalf("midKey(%+v, %+v) = %+v makes no progress", tc.lo, tc.hi, mid)
+			}
+		}
+	}
+}

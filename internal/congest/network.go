@@ -1,0 +1,156 @@
+// Package congest simulates the CONGEST model of distributed computing
+// (Peleg 2000) on a given input graph and implements CDRW on it: nodes are
+// processors, edges are communication links, computation proceeds in
+// synchronous rounds, and each node may send one O(log n)-bit message per
+// neighbour per round.
+//
+// The simulator accounts rounds and messages exactly as the paper's
+// complexity analysis does (§III): one round per probability-flooding step,
+// depth-of-BFS-tree rounds per broadcast/convergecast, and a
+// broadcast+convergecast pair per binary-search iteration of the
+// |S|-smallest-x_u selection. An optional per-message observer feeds the
+// k-machine conversion (internal/kmachine).
+package congest
+
+import (
+	"fmt"
+	"sync"
+
+	"cdrw/internal/graph"
+)
+
+// Metrics accumulates the two CONGEST complexity measures.
+type Metrics struct {
+	// Rounds is the number of synchronous communication rounds.
+	Rounds int
+	// Messages is the total number of O(log n)-bit messages sent.
+	Messages int64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.Messages += other.Messages
+}
+
+// Traffic identifies one message for the per-round observer.
+type Traffic struct {
+	From, To int32
+}
+
+// RoundObserver receives every message of one communication round. The
+// slice is reused between rounds; implementations must not retain it.
+type RoundObserver func(round int, msgs []Traffic)
+
+// Network wraps the input graph with round/message accounting. A Network is
+// not safe for concurrent use; the parallel executor only parallelises
+// per-node local computation inside a round, never the round structure.
+type Network struct {
+	g        *graph.Graph
+	metrics  Metrics
+	observer RoundObserver
+	workers  int
+	buf      []Traffic
+}
+
+// NewNetwork returns a CONGEST network over g. workers controls how many
+// goroutines run per-node computations inside each round; values below 2
+// select the sequential executor. Results are identical either way — nodes
+// only read the previous round's state and write their own slot.
+func NewNetwork(g *graph.Graph, workers int) *Network {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Network{g: g, workers: workers}
+}
+
+// SetObserver installs a per-round message observer (pass nil to remove).
+// Observing materialises every message and slows simulation down; it is
+// intended for the k-machine conversion.
+func (nw *Network) SetObserver(obs RoundObserver) { nw.observer = obs }
+
+// Graph returns the underlying input graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Metrics returns the accumulated round/message counts.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// ResetMetrics zeroes the accumulated counts.
+func (nw *Network) ResetMetrics() { nw.metrics = Metrics{} }
+
+// beginRound opens a new communication round and returns its index.
+func (nw *Network) beginRound() int {
+	nw.metrics.Rounds++
+	if nw.observer != nil {
+		nw.buf = nw.buf[:0]
+	}
+	return nw.metrics.Rounds
+}
+
+// send accounts one message from -> to within the current round.
+func (nw *Network) send(from, to int) {
+	nw.metrics.Messages++
+	if nw.observer != nil {
+		nw.buf = append(nw.buf, Traffic{From: int32(from), To: int32(to)})
+	}
+}
+
+// sendMany accounts count messages from a single sender to distinct
+// neighbours given by the callback (used by flooding, where a node messages
+// every neighbour).
+func (nw *Network) sendAllNeighbors(v int) {
+	ns := nw.g.Neighbors(v)
+	nw.metrics.Messages += int64(len(ns))
+	if nw.observer != nil {
+		for _, w := range ns {
+			nw.buf = append(nw.buf, Traffic{From: int32(v), To: w})
+		}
+	}
+}
+
+// endRound closes the current round, flushing messages to the observer.
+func (nw *Network) endRound(round int) {
+	if nw.observer != nil {
+		nw.observer(round, nw.buf)
+	}
+}
+
+// parallelFor runs fn(i) for i in [0, n) using the network's worker count.
+// fn must only write to per-index state.
+func (nw *Network) parallelFor(n int, fn func(i int)) {
+	if nw.workers < 2 || n < 64 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw.workers - 1) / nw.workers
+	for w := 0; w < nw.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// checkVertex validates a vertex index against the network size.
+func (nw *Network) checkVertex(v int) error {
+	if v < 0 || v >= nw.g.NumVertices() {
+		return fmt.Errorf("congest: vertex %d out of range [0,%d): %w",
+			v, nw.g.NumVertices(), graph.ErrVertexOutOfRange)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package congest
+
+import "math"
+
+// key orders nodes by (x value, id) — the deterministic tie-break both
+// engines share. The paper instead perturbs x_u by a tiny random value to
+// make all values distinct; lexicographic (x, id) order achieves the same
+// effect deterministically.
+type key struct {
+	x  float64
+	id int32
+}
+
+func keyLess(a, b key) bool {
+	if a.x != b.x {
+		return a.x < b.x
+	}
+	return a.id < b.id
+}
+
+var (
+	minusInfKey = key{x: math.Inf(-1), id: -1}
+	plusInfKey  = key{x: math.Inf(1), id: math.MaxInt32}
+)
+
+// selectionAggregate is the O(1)-word partial aggregate convergecast up the
+// tree in one binary-search iteration: the count and x-sum of keys ≤ mid,
+// the largest key ≤ mid and the smallest key > mid.
+type selectionAggregate struct {
+	countLe int
+	sumLe   float64
+	maxLe   key
+	minGt   key
+}
+
+// aggregate scans the covered nodes and computes the iteration's aggregate.
+// In the real protocol every node contributes its O(1)-word partial result
+// up the BFS tree; the simulation computes the same answer centrally and
+// accounts the communication via Convergecast.
+func aggregate(covered []int32, x []float64, mid key) selectionAggregate {
+	agg := selectionAggregate{maxLe: minusInfKey, minGt: plusInfKey}
+	for _, v := range covered {
+		k := key{x: x[v], id: v}
+		if keyLess(k, mid) || k == mid {
+			agg.countLe++
+			agg.sumLe += k.x
+			if keyLess(agg.maxLe, k) {
+				agg.maxLe = k
+			}
+		} else if keyLess(k, agg.minGt) {
+			agg.minGt = k
+		}
+	}
+	return agg
+}
+
+// midKey bisects the search bracket: while the value range is open it
+// splits on x; once the bracket collapses to a single x value it splits on
+// node ids (the tie-break dimension).
+func midKey(lo, hi key) key {
+	if lo.x < hi.x {
+		midx := lo.x + (hi.x-lo.x)/2
+		if midx >= hi.x { // float underflow: adjacent representable values
+			midx = lo.x
+		}
+		return key{x: midx, id: math.MaxInt32}
+	}
+	return key{x: lo.x, id: lo.id + (hi.id-lo.id)/2}
+}
+
+// selectKSmallest runs the distributed binary search of Algorithm 1 line 14:
+// the root finds the threshold key T such that exactly k covered nodes have
+// key ≤ T, along with the sum of their x values. Every iteration costs one
+// broadcast (the root ships mid down the tree) plus one convergecast (the
+// partial aggregates flow up), 2·depth rounds in total, and the iteration
+// count is O(log n) because each step halves either the candidate value
+// range or the candidate id range. Returns ok=false when fewer than k nodes
+// are covered.
+func (nw *Network) selectKSmallest(t *Tree, covered []int32, x []float64, k int) (key, float64, bool) {
+	if k <= 0 || k > len(covered) {
+		return key{}, 0, false
+	}
+	// Initial convergecast: global (min, max) of the keys (§III: "All the
+	// nodes send xmin and xmax to the root through a convergecast").
+	nw.Convergecast(t)
+	lo, hi := plusInfKey, minusInfKey
+	for _, v := range covered {
+		kk := key{x: x[v], id: v}
+		if keyLess(kk, lo) {
+			lo = kk
+		}
+		if keyLess(hi, kk) {
+			hi = kk
+		}
+	}
+	if k == len(covered) {
+		// Every covered node is selected; one more convergecast ships the
+		// total sum to the root.
+		nw.Convergecast(t)
+		agg := aggregate(covered, x, hi)
+		return hi, agg.sumLe, true
+	}
+	// Iterate: broadcast mid, convergecast the aggregate, shrink the
+	// bracket towards the k-th smallest key. The invariant is
+	// count(≤ lo) ≤ k ≤ count(≤ hi).
+	for iter := 0; iter < 256; iter++ {
+		if lo == hi {
+			nw.Broadcast(t)
+			nw.Convergecast(t)
+			agg := aggregate(covered, x, lo)
+			if agg.countLe != k {
+				// Cannot happen with distinct keys; guard against misuse.
+				return key{}, 0, false
+			}
+			return lo, agg.sumLe, true
+		}
+		mid := midKey(lo, hi)
+		nw.Broadcast(t)
+		nw.Convergecast(t)
+		agg := aggregate(covered, x, mid)
+		switch {
+		case agg.countLe == k:
+			return agg.maxLe, agg.sumLe, true
+		case agg.countLe > k:
+			hi = agg.maxLe
+		default:
+			lo = agg.minGt
+		}
+	}
+	// 256 iterations bound the bisection of a 64-bit float range plus a
+	// 32-bit id range many times over; reaching this is a bug.
+	return key{}, 0, false
+}

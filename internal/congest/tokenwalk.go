@@ -1,0 +1,66 @@
+package congest
+
+import (
+	"fmt"
+
+	"cdrw/internal/rng"
+)
+
+// TokenWalk runs the classical distributed random walk: a single token is
+// forwarded to a uniformly random neighbour each round, for the given
+// number of steps. CDRW itself evolves the full probability distribution by
+// flooding (deterministic, one round per step, but messages proportional to
+// the walk's support); the token walk is the lightweight alternative — one
+// message per round — and is provided for cost comparisons and for
+// Monte-Carlo estimation of walk distributions on networks too large to
+// flood.
+//
+// It returns the visit counts per vertex (including the start vertex's
+// initial visit) and the final position. The walk stalls (and returns an
+// error) if it reaches an isolated vertex.
+func (nw *Network) TokenWalk(start, steps int, r *rng.RNG) ([]int, int, error) {
+	if err := nw.checkVertex(start); err != nil {
+		return nil, 0, err
+	}
+	if steps < 0 {
+		return nil, 0, fmt.Errorf("congest: negative step count %d", steps)
+	}
+	g := nw.Graph()
+	visits := make([]int, g.NumVertices())
+	cur := start
+	visits[cur]++
+	for i := 0; i < steps; i++ {
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			return visits, cur, fmt.Errorf("congest: token stuck at isolated vertex %d after %d steps", cur, i)
+		}
+		next := int(ns[r.Intn(len(ns))])
+		round := nw.beginRound()
+		nw.send(cur, next)
+		nw.endRound(round)
+		cur = next
+		visits[cur]++
+	}
+	return visits, cur, nil
+}
+
+// EstimateDistribution runs `walks` independent token walks of the given
+// length from start and returns the empirical distribution of their end
+// positions — a Monte-Carlo estimate of the flooding distribution p_steps.
+func (nw *Network) EstimateDistribution(start, steps, walks int, r *rng.RNG) ([]float64, error) {
+	if walks < 1 {
+		return nil, fmt.Errorf("congest: need at least one walk, got %d", walks)
+	}
+	counts := make([]float64, nw.Graph().NumVertices())
+	for w := 0; w < walks; w++ {
+		_, end, err := nw.TokenWalk(start, steps, r)
+		if err != nil {
+			return nil, fmt.Errorf("congest: walk %d: %w", w, err)
+		}
+		counts[end]++
+	}
+	for i := range counts {
+		counts[i] /= float64(walks)
+	}
+	return counts, nil
+}

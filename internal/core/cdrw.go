@@ -1,0 +1,304 @@
+// Package core implements CDRW (Community Detection by Random Walks),
+// Algorithm 1 of Fathi, Molla & Pandurangan, "Efficient Distributed
+// Community Detection in the Stochastic Block Model" (ICDCS 2019).
+//
+// This package is the reference engine: it evolves the walk's probability
+// distribution exactly (as the paper's own simulations do) and runs the
+// largest-mixing-set search in memory. The CONGEST message-passing
+// realisation of the same algorithm lives in internal/congest and is
+// cross-checked against this one.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// DefaultDelta is the stop-rule slack used when the caller supplies no
+// conductance estimate: the algorithm stops once the largest mixing set
+// grows by less than a factor (1+δ) per step. The paper sets δ = Φ_G; for
+// PPM inputs use gen.PPMConfig.ExpectedConductance. 0.1 is a conservative
+// stand-in that works across the paper's parameter grid because the
+// pre-convergence growth rate is Θ(d) = Θ(log n) per step, far above 1+δ.
+const DefaultDelta = 0.1
+
+type config struct {
+	delta    float64
+	minSize  int
+	maxLen   int
+	patience int
+	seed     uint64
+	mix      rw.MixOptions
+}
+
+// Option customises a CDRW run.
+type Option func(*config)
+
+// WithDelta sets the stop parameter δ of Algorithm 1 line 18 (paper: the
+// graph conductance Φ_G).
+func WithDelta(delta float64) Option {
+	return func(c *config) { c.delta = delta }
+}
+
+// WithMinCommunitySize sets R, the initial candidate mixing-set size
+// (Algorithm 1 line 6; the paper assumes communities have size ≥ log n and
+// initialises R = log n).
+func WithMinCommunitySize(r int) Option {
+	return func(c *config) { c.minSize = r }
+}
+
+// WithMaxWalkLength caps the walk length (Algorithm 1 line 8 runs for
+// O(log n) steps; the default is 4·⌈log₂ n⌉+4).
+func WithMaxWalkLength(l int) Option {
+	return func(c *config) { c.maxLen = l }
+}
+
+// WithPatience sets how many consecutive stalled steps trigger the stop rule
+// (the paper stops at the first step whose mixing set fails to grow by
+// (1+δ); patience 1 reproduces that; larger values tolerate transient
+// plateaus before the community is reached).
+func WithPatience(p int) Option {
+	return func(c *config) { c.patience = p }
+}
+
+// WithSeed fixes the RNG seed used for pool sampling, making a Detect run
+// fully reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithMixingThreshold overrides the 1/2e mixing-condition bound (ablation
+// studies only; the default is the paper's constant).
+func WithMixingThreshold(threshold float64) Option {
+	return func(c *config) { c.mix.Threshold = threshold }
+}
+
+// WithGrowthFactor overrides the 1+1/8e candidate-size growth factor
+// (ablation studies only; the default is the paper's constant).
+func WithGrowthFactor(growth float64) Option {
+	return func(c *config) { c.mix.Growth = growth }
+}
+
+func defaultConfig(n int) config {
+	logN := int(math.Ceil(math.Log2(float64(n + 1))))
+	if logN < 1 {
+		logN = 1
+	}
+	return config{
+		delta:    DefaultDelta,
+		minSize:  logN,
+		maxLen:   4*logN + 4,
+		patience: 1,
+		seed:     1,
+	}
+}
+
+// CommunityStats records per-seed diagnostics of a community computation.
+type CommunityStats struct {
+	Seed         int  // seed vertex s
+	WalkLength   int  // steps taken before the stop rule fired
+	Stopped      bool // true if the (1+δ) rule fired, false if the length cap hit
+	FinalSetSize int  // |C_s|
+	SizesChecked int  // total ladder entries evaluated (complexity accounting)
+}
+
+// Detection records one pool iteration of Algorithm 1: the seed drawn from
+// the pool, the community detected for it on the full graph, and the subset
+// of that community that was still unassigned (which is what leaves the
+// pool).
+type Detection struct {
+	// Raw is the community C_s exactly as Algorithm 1 computes it for the
+	// seed. The paper's F-score (§IV) is evaluated on this set. Raw sets of
+	// different seeds may overlap.
+	Raw []int
+	// Assigned is Raw minus vertices claimed by earlier detections (plus
+	// the seed itself, which is always unassigned when drawn). The Assigned
+	// sets partition the vertex set.
+	Assigned []int
+	// Stats holds per-run diagnostics.
+	Stats CommunityStats
+}
+
+// Result is the output of a full Detect run.
+type Result struct {
+	// Detections in pool order. Every vertex appears in exactly one
+	// Assigned set.
+	Detections []Detection
+}
+
+// Partition returns the Assigned sets: a partition of the vertex set.
+func (r *Result) Partition() [][]int {
+	out := make([][]int, len(r.Detections))
+	for i := range r.Detections {
+		out[i] = r.Detections[i].Assigned
+	}
+	return out
+}
+
+// Labels returns a per-vertex community label derived from the partition.
+func (r *Result) Labels(n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for id, det := range r.Detections {
+		for _, v := range det.Assigned {
+			labels[v] = id
+		}
+	}
+	return labels
+}
+
+// DetectCommunity computes the community containing seed s: it walks from s,
+// tracks the largest local mixing set at every length, and stops when the
+// set's size stalls (Algorithm 1 lines 5–20).
+func DetectCommunity(g *graph.Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
+	n := g.NumVertices()
+	cfg := defaultConfig(n)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if s < 0 || s >= n {
+		return nil, CommunityStats{}, fmt.Errorf("core: seed %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
+	}
+	if cfg.delta < 0 {
+		return nil, CommunityStats{}, fmt.Errorf("core: negative delta %v", cfg.delta)
+	}
+	if cfg.minSize < 1 || cfg.maxLen < 1 || cfg.patience < 1 {
+		return nil, CommunityStats{}, fmt.Errorf("core: options must be positive (minSize=%d maxLen=%d patience=%d)",
+			cfg.minSize, cfg.maxLen, cfg.patience)
+	}
+
+	stats := CommunityStats{Seed: s}
+	p, err := rw.NewPointDist(n, s)
+	if err != nil {
+		return nil, stats, err
+	}
+	next := make(rw.Dist, n)
+
+	var prev rw.MixingSet
+	stalled := 0
+	for l := 1; l <= cfg.maxLen; l++ {
+		stats.WalkLength = l
+		p, next = rw.Step(g, p, next), p
+		cur, err := rw.LargestMixingSetOpt(g, p, cfg.minSize, cfg.mix)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.SizesChecked += cur.SizesChecked
+		// The stop rule compares consecutive *existing* mixing sets. While
+		// the walk is still spreading, no candidate size passes the mixing
+		// condition at all (the ball outgrows the last passing size before
+		// the next ladder size becomes reachable); those steps are part of
+		// the growth phase, not a stall, so they are skipped rather than
+		// counted against the (1+δ) rule.
+		if prev.Found() && cur.Found() {
+			grown := float64(cur.Size()) >= (1+cfg.delta)*float64(prev.Size())
+			if !grown {
+				stalled++
+				if stalled >= cfg.patience {
+					// Output S_{ℓ-1}, the last set before the stall run
+					// began (Algorithm 1 line 20).
+					stats.Stopped = true
+					out := withSeed(prev.Vertices, s)
+					stats.FinalSetSize = len(out)
+					return out, stats, nil
+				}
+				// Keep prev (the pre-stall set) while waiting out the
+				// plateau.
+				continue
+			}
+			stalled = 0
+		}
+		if cur.Found() {
+			prev = cur
+		}
+	}
+	// Length cap reached without the stop rule firing: emit the best set so
+	// far. A seed in a well-mixed graph ends up here with S = V.
+	if prev.Found() {
+		stats.FinalSetSize = prev.Size()
+		return withSeed(prev.Vertices, s), stats, nil
+	}
+	// No mixing set at any length (pathological inputs: tiny graphs,
+	// isolated vertices). Fall back to the singleton community {s}.
+	stats.FinalSetSize = 1
+	return []int{s}, stats, nil
+}
+
+// withSeed ensures the seed vertex belongs to its community: the paper
+// defines C_s as a set containing s (Definition 2 takes the minimum over
+// sets containing the source), but the localised |S|-smallest-x_u selection
+// can drop the seed when its own probability still deviates from the
+// restricted stationary value. set is sorted; the result stays sorted.
+func withSeed(set []int, s int) []int {
+	i := sort.SearchInts(set, s)
+	if i < len(set) && set[i] == s {
+		return set
+	}
+	out := make([]int, 0, len(set)+1)
+	out = append(out, set[:i]...)
+	out = append(out, s)
+	out = append(out, set[i:]...)
+	return out
+}
+
+// Detect runs CDRW over the whole graph: repeatedly draw a seed from the
+// pool of unassigned vertices, detect its community, and remove the
+// community from the pool (Algorithm 1 lines 1–23). Vertices claimed by an
+// earlier community are not re-assigned, so the output is a partition.
+func Detect(g *graph.Graph, opts ...Option) (*Result, error) {
+	n := g.NumVertices()
+	cfg := defaultConfig(n)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := rng.New(cfg.seed)
+
+	assigned := make([]bool, n)
+	pool := make([]int, n)
+	for v := range pool {
+		pool[v] = v
+	}
+	res := &Result{}
+	for len(pool) > 0 {
+		s := pool[r.Intn(len(pool))]
+		community, stats, err := DetectCommunity(g, s, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: community of seed %d: %w", s, err)
+		}
+		// The assigned piece keeps only vertices not already claimed; the
+		// seed is always kept (it was drawn from the pool, so it is free).
+		kept := make([]int, 0, len(community))
+		for _, v := range community {
+			if !assigned[v] {
+				kept = append(kept, v)
+				assigned[v] = true
+			}
+		}
+		if !assigned[s] {
+			kept = append(kept, s)
+			assigned[s] = true
+		}
+		res.Detections = append(res.Detections, Detection{
+			Raw:      community,
+			Assigned: kept,
+			Stats:    stats,
+		})
+
+		// Rebuild the pool without the newly assigned vertices.
+		nextPool := pool[:0]
+		for _, v := range pool {
+			if !assigned[v] {
+				nextPool = append(nextPool, v)
+			}
+		}
+		pool = nextPool
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// DetectParallel implements the extension sketched in the paper's
+// conclusion: "our algorithm can also be extended to find communities even
+// faster (by finding communities in parallel), assuming we know an
+// (estimate) of r". It draws r seeds, runs the per-seed detection of
+// Algorithm 1 concurrently (one goroutine per seed), and resolves overlaps
+// deterministically: a vertex claimed by several detections goes to the one
+// whose seed drew the lower pool position. Vertices claimed by no detection
+// are attached to the claiming community most frequent among their
+// neighbours (one label-propagation step), or form singletons if they have
+// no claimed neighbour.
+//
+// Seeds are spread apart: after the first uniform draw, each subsequent
+// seed is drawn from the vertices not yet covered by earlier seeds' balls
+// of radius 2, which makes landing all r seeds in one block unlikely
+// without requiring any global knowledge beyond r.
+func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
+	n := g.NumVertices()
+	if r < 1 {
+		return nil, fmt.Errorf("core: community estimate r=%d must be positive", r)
+	}
+	if r > n {
+		return nil, fmt.Errorf("core: r=%d exceeds vertex count %d", r, n)
+	}
+	cfg := defaultConfig(n)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rnd := rng.New(cfg.seed)
+
+	// Draw spread-out seeds.
+	seeds := make([]int, 0, r)
+	blocked := make([]bool, n)
+	candidates := make([]int, n)
+	for v := range candidates {
+		candidates[v] = v
+	}
+	for len(seeds) < r {
+		free := candidates[:0]
+		for v := 0; v < n; v++ {
+			if !blocked[v] {
+				free = append(free, v)
+			}
+		}
+		if len(free) == 0 {
+			// Everything blocked: fall back to uniform draws.
+			seeds = append(seeds, rnd.Intn(n))
+			continue
+		}
+		s := free[rnd.Intn(len(free))]
+		seeds = append(seeds, s)
+		for _, v := range g.Ball(s, 2) {
+			blocked[v] = true
+		}
+	}
+
+	// Detect all seeds' communities concurrently.
+	type outcome struct {
+		community []int
+		stats     CommunityStats
+		err       error
+	}
+	outcomes := make([]outcome, r)
+	var wg sync.WaitGroup
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			com, stats, err := DetectCommunity(g, s, opts...)
+			outcomes[i] = outcome{community: com, stats: stats, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return nil, fmt.Errorf("core: parallel community of seed %d: %w", seeds[i], outcomes[i].err)
+		}
+	}
+
+	// Resolve overlaps: earlier seed index wins.
+	owner := make([]int, n)
+	for v := range owner {
+		owner[v] = -1
+	}
+	res := &Result{Detections: make([]Detection, r)}
+	for i, oc := range outcomes {
+		kept := make([]int, 0, len(oc.community))
+		for _, v := range oc.community {
+			if owner[v] < 0 {
+				owner[v] = i
+				kept = append(kept, v)
+			}
+		}
+		res.Detections[i] = Detection{Raw: oc.community, Assigned: kept, Stats: oc.stats}
+	}
+
+	// Attach unclaimed vertices by neighbour majority (repeat until stable
+	// so chains of unclaimed vertices resolve); leftovers become singleton
+	// communities.
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if owner[v] >= 0 {
+				continue
+			}
+			counts := make(map[int]int)
+			bestOwner, bestCount := -1, 0
+			for _, w := range g.Neighbors(v) {
+				if o := owner[w]; o >= 0 {
+					counts[o]++
+					if counts[o] > bestCount || (counts[o] == bestCount && o < bestOwner) {
+						bestOwner, bestCount = o, counts[o]
+					}
+				}
+			}
+			if bestOwner >= 0 {
+				owner[v] = bestOwner
+				res.Detections[bestOwner].Assigned = append(res.Detections[bestOwner].Assigned, v)
+				changed = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if owner[v] >= 0 {
+			continue
+		}
+		owner[v] = len(res.Detections)
+		res.Detections = append(res.Detections, Detection{
+			Raw:      []int{v},
+			Assigned: []int{v},
+			Stats:    CommunityStats{Seed: v, FinalSetSize: 1},
+		})
+	}
+	return res, nil
+}

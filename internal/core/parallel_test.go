@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"cdrw/internal/metrics"
+)
+
+func TestDetectParallelPartitions(t *testing.T) {
+	ppm := ppmGraph(t, 256, 4, 2, 0.1, 51)
+	res, err := DetectParallel(ppm.Graph, 4,
+		WithDelta(ppm.Config.ExpectedConductance()), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ppm.Graph.NumVertices()
+	seen := make([]bool, n)
+	for _, det := range res.Detections {
+		for _, v := range det.Assigned {
+			if seen[v] {
+				t.Fatalf("vertex %d assigned twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+}
+
+func TestDetectParallelAccuracy(t *testing.T) {
+	ppm := ppmGraph(t, 256, 4, 2, 0.1, 53)
+	res, err := DetectParallel(ppm.Graph, 4,
+		WithDelta(ppm.Config.ExpectedConductance()), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := res.Labels(ppm.Graph.NumVertices())
+	nmi, err := metrics.NMI(labels, ppm.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel detection trades some accuracy for speed: seeds can land in
+	// the same block and overlap resolution is priority-based, so the bar
+	// is lower than for the sequential pool loop.
+	if nmi < 0.6 {
+		t.Fatalf("parallel detection NMI %v, want ≥0.6", nmi)
+	}
+}
+
+func TestDetectParallelMatchesSequentialQuality(t *testing.T) {
+	ppm := ppmGraph(t, 256, 2, 2, 0.1, 57)
+	seq, err := Detect(ppm.Graph, WithDelta(ppm.Config.ExpectedConductance()), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DetectParallel(ppm.Graph, 2, WithDelta(ppm.Config.ExpectedConductance()), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ppm.Graph.NumVertices()
+	nmiSeq, err := metrics.NMI(seq.Labels(n), ppm.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmiPar, err := metrics.NMI(par.Labels(n), ppm.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel variant is a speed/quality trade-off; it must stay in
+	// the same quality regime as the sequential pool loop.
+	if nmiPar < nmiSeq-0.2 {
+		t.Fatalf("parallel NMI %v much worse than sequential %v", nmiPar, nmiSeq)
+	}
+}
+
+func TestDetectParallelValidation(t *testing.T) {
+	ppm := ppmGraph(t, 64, 2, 2, 0.1, 59)
+	if _, err := DetectParallel(ppm.Graph, 0); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := DetectParallel(ppm.Graph, 1000); err == nil {
+		t.Fatal("r>n accepted")
+	}
+}
+
+func TestDetectParallelDeterministic(t *testing.T) {
+	ppm := ppmGraph(t, 128, 2, 2, 0.1, 61)
+	a, err := DetectParallel(ppm.Graph, 2, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DetectParallel(ppm.Graph, 2, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Detections) != len(b.Detections) {
+		t.Fatal("parallel detection count differs across runs")
+	}
+	la := a.Labels(ppm.Graph.NumVertices())
+	lb := b.Labels(ppm.Graph.NumVertices())
+	for v := range la {
+		if la[v] != lb[v] {
+			t.Fatalf("parallel labels differ at %d despite same seed", v)
+		}
+	}
+}
+
+func TestDetectParallelSingleSeed(t *testing.T) {
+	g := gnpGraph(t, 256, 63)
+	res, err := DetectParallel(g, 1, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One seed on an expander: the single community grabs almost all
+	// vertices; any stragglers are attached by neighbour majority, so the
+	// first detection ends up with everything.
+	if len(res.Detections[0].Assigned) < 250 {
+		t.Fatalf("single-seed parallel detection assigned %d of 256",
+			len(res.Detections[0].Assigned))
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+)
+
+// TestDetectPartitionProperty checks, across random PPM instances and
+// seeds, the fundamental invariant of the pool loop: the Assigned sets
+// always partition the vertex set, regardless of parameters.
+func TestDetectPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		blocks := 1 + r.Intn(4)
+		size := 32 + 16*r.Intn(4)
+		cfg := gen.PPMConfig{
+			N: blocks * size,
+			R: blocks,
+			P: 0.1 + 0.3*r.Float64(),
+			Q: 0.05 * r.Float64(),
+		}
+		ppm, err := gen.NewPPM(cfg, r.Split())
+		if err != nil {
+			return false
+		}
+		res, err := Detect(ppm.Graph, WithSeed(seed+1))
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, cfg.N)
+		for _, det := range res.Detections {
+			if len(det.Assigned) == 0 {
+				return false // every detection must claim at least its seed
+			}
+			for _, v := range det.Assigned {
+				if v < 0 || v >= cfg.N || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectCommunityBoundsProperty checks invariants of single-seed
+// detection across random inputs: the community contains the seed, has at
+// least one vertex, at most n, and the stats are internally consistent.
+func TestDetectCommunityBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 48 + 16*r.Intn(8)
+		p := 0.05 + 0.3*r.Float64()
+		g, err := gen.Gnp(n, p, r.Split())
+		if err != nil {
+			return false
+		}
+		s := r.Intn(n)
+		com, stats, err := DetectCommunity(g, s)
+		if err != nil {
+			return false
+		}
+		if len(com) < 1 || len(com) > n {
+			return false
+		}
+		hasSeed := false
+		for _, v := range com {
+			if v < 0 || v >= n {
+				return false
+			}
+			if v == s {
+				hasSeed = true
+			}
+		}
+		if !hasSeed {
+			return false
+		}
+		return stats.WalkLength >= 1 && stats.FinalSetSize == len(com)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixingSetMonotoneInThreshold: loosening the mixing threshold can only
+// keep or enlarge the largest mixing set (the passing sizes form a superset).
+func TestMixingSetMonotoneInThreshold(t *testing.T) {
+	ppm := ppmGraph(t, 128, 2, 2, 0.1, 71)
+	g := ppm.Graph
+	for _, seedVertex := range []int{0, 50, 200} {
+		com1, _, err := DetectCommunity(g, seedVertex, WithMixingThreshold(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		com2, _, err := DetectCommunity(g, seedVertex, WithMixingThreshold(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Not strictly monotone per step (the stop rule interacts), but a
+		// looser threshold must never make detection fail outright.
+		if len(com1) > 0 && len(com2) == 0 {
+			t.Fatalf("loosening the threshold lost the community at seed %d", seedVertex)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+)
+
+// ablationWorkload is the fixed PPM instance family on which all ablations
+// run: two blocks at the sparse operating point (p = 2·log₂s/s, q = 0.6/s)
+// where the design choices actually matter.
+func ablationWorkload(quick bool) gen.PPMConfig {
+	s := 512
+	if quick {
+		s = 128
+	}
+	sf := float64(s)
+	return gen.PPMConfig{N: 2 * s, R: 2, P: 2 * gen.Log2(s) / sf, Q: 0.6 / sf}
+}
+
+// ablationFScore runs the pool loop with extra options and returns the
+// total F-score.
+func ablationFScore(cfg gen.PPMConfig, seed uint64, extra ...core.Option) (float64, error) {
+	ppm, err := gen.NewPPM(cfg, rng.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	opts := append([]core.Option{
+		core.WithDelta(cfg.ExpectedConductance()),
+		core.WithSeed(seed + 1),
+	}, extra...)
+	res, err := core.Detect(ppm.Graph, opts...)
+	if err != nil {
+		return 0, err
+	}
+	truth := ppm.TruthCommunities()
+	drs := make([]metrics.DetectionResult, 0, len(res.Detections))
+	for _, det := range res.Detections {
+		drs = append(drs, metrics.DetectionResult{
+			Detected: det.Raw,
+			Truth:    truth[ppm.Truth[det.Stats.Seed]],
+		})
+	}
+	return metrics.TotalFScore(drs)
+}
+
+func ablate(cfg Config, name, title, xlabel string, xs []float64, mk func(x float64) []core.Option) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	work := ablationWorkload(cfg.Quick)
+	fig := &Figure{Name: name, Title: title, XLabel: xlabel, YLabel: "F-score"}
+	series := Series{Label: "F-score"}
+	for xi, x := range xs {
+		sum := 0.0
+		for t := 0; t < cfg.Trials; t++ {
+			f, err := ablationFScore(work, cfg.Seed+uint64(xi*131+t*7919), mk(x)...)
+			if err != nil {
+				return nil, fmt.Errorf("%s x=%v: %w", name, x, err)
+			}
+			sum += f
+		}
+		series.X = append(series.X, x)
+		series.Y = append(series.Y, sum/float64(cfg.Trials))
+	}
+	fig.Series = []Series{series}
+	return fig, nil
+}
+
+// AblationThreshold varies the 1/2e mixing-condition bound. The paper's
+// constant sits on a plateau: much smaller thresholds reject real mixing
+// sets (communities shatter), much larger ones accept half-mixed sets
+// (communities bloat).
+func AblationThreshold(cfg Config) (*Figure, error) {
+	base := 1 / (2 * math.E)
+	return ablate(cfg, "ablation-threshold",
+		"mixing-condition threshold around the paper's 1/2e",
+		"threshold",
+		[]float64{base / 4, base / 2, base, 2 * base, 4 * base},
+		func(x float64) []core.Option {
+			return []core.Option{core.WithMixingThreshold(x)}
+		})
+}
+
+// AblationGrowth varies the 1+1/8e candidate-size growth factor. Larger
+// factors overshoot the community size (nothing between |C|·(1−ε) and
+// |C|·(1+ε) is ever tested), smaller ones only add sweep work.
+func AblationGrowth(cfg Config) (*Figure, error) {
+	return ablate(cfg, "ablation-growth",
+		"candidate-size ladder growth factor around the paper's 1+1/8e",
+		"growth",
+		[]float64{1.01, 1 + 1/(8*math.E), 1.1, 1.25, 2.0},
+		func(x float64) []core.Option {
+			return []core.Option{core.WithGrowthFactor(x)}
+		})
+}
+
+// AblationDelta varies the stop-rule slack δ around the conductance value
+// Algorithm 1 prescribes (δ = Φ_G). Too small risks stopping on plateau
+// noise; too large treats real growth as a stall.
+func AblationDelta(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	work := ablationWorkload(cfg.Quick)
+	phi := work.ExpectedConductance()
+	fig := &Figure{
+		Name:   "ablation-delta",
+		Title:  fmt.Sprintf("stop-rule slack δ around Φ_G=%.4f", phi),
+		XLabel: "delta/phi",
+		YLabel: "F-score",
+	}
+	series := Series{Label: "F-score"}
+	for xi, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		sum := 0.0
+		for t := 0; t < cfg.Trials; t++ {
+			ppm, err := gen.NewPPM(work, rng.New(cfg.Seed+uint64(xi*131+t*7919)))
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Detect(ppm.Graph,
+				core.WithDelta(phi*mult),
+				core.WithSeed(cfg.Seed+uint64(xi*131+t*7919)+1),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-delta mult=%v: %w", mult, err)
+			}
+			truth := ppm.TruthCommunities()
+			drs := make([]metrics.DetectionResult, 0, len(res.Detections))
+			for _, det := range res.Detections {
+				drs = append(drs, metrics.DetectionResult{
+					Detected: det.Raw,
+					Truth:    truth[ppm.Truth[det.Stats.Seed]],
+				})
+			}
+			f, err := metrics.TotalFScore(drs)
+			if err != nil {
+				return nil, err
+			}
+			sum += f
+		}
+		series.X = append(series.X, mult)
+		series.Y = append(series.Y, sum/float64(cfg.Trials))
+	}
+	fig.Series = []Series{series}
+	return fig, nil
+}
+
+// AblationPatience varies the stop rule's stalled-step tolerance. Patience
+// 1 is the paper's rule; higher patience trades over-claiming (the mixing
+// set creeps past the community while waiting) against robustness to
+// transient plateaus.
+func AblationPatience(cfg Config) (*Figure, error) {
+	return ablate(cfg, "ablation-patience",
+		"stop-rule patience (stalled steps before emitting)",
+		"patience",
+		[]float64{1, 2, 3, 5},
+		func(x float64) []core.Option {
+			return []core.Option{core.WithPatience(int(x))}
+		})
+}

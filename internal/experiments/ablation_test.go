@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationThreshold(t *testing.T) {
+	fig, err := AblationThreshold(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 5 {
+		t.Fatalf("threshold ablation has %d points", len(s.X))
+	}
+	// The paper's constant is the middle point; it should score at least as
+	// well as the extreme settings (plateau claim).
+	paperIdx := 2
+	if math.Abs(s.X[paperIdx]-1/(2*math.E)) > 1e-9 {
+		t.Fatalf("middle point %v is not 1/2e", s.X[paperIdx])
+	}
+	if s.Y[paperIdx]+0.05 < s.Y[0] {
+		t.Errorf("paper threshold F=%v clearly below tighter threshold F=%v", s.Y[paperIdx], s.Y[0])
+	}
+}
+
+func TestAblationGrowth(t *testing.T) {
+	fig, err := AblationGrowth(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 5 {
+		t.Fatalf("growth ablation has %d points", len(s.X))
+	}
+	for i, y := range s.Y {
+		if y < 0 || y > 1 {
+			t.Fatalf("point %d out of range: %v", i, y)
+		}
+	}
+}
+
+func TestAblationDelta(t *testing.T) {
+	fig, err := AblationDelta(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 6 {
+		t.Fatalf("delta ablation has %d points", len(s.X))
+	}
+	// δ = Φ_G (multiplier 1) should be within 0.1 of the best point.
+	best := 0.0
+	for _, y := range s.Y {
+		if y > best {
+			best = y
+		}
+	}
+	var atPhi float64
+	for i, x := range s.X {
+		if x == 1 {
+			atPhi = s.Y[i]
+		}
+	}
+	if atPhi < best-0.15 {
+		t.Errorf("δ=Φ_G F=%v far from best %v — paper's choice off the plateau", atPhi, best)
+	}
+}
+
+func TestAblationPatience(t *testing.T) {
+	fig, err := AblationPatience(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 4 || s.X[0] != 1 {
+		t.Fatalf("patience ablation x = %v", s.X)
+	}
+}

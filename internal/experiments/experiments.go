@@ -1,0 +1,168 @@
+// Package experiments regenerates every figure and complexity claim of the
+// paper's evaluation (§IV plus Theorems 5/6 and §III-B). Each experiment
+// returns a Figure — named data series matching the curves the paper plots —
+// that can be rendered as an aligned text table or TSV.
+//
+// Parameterisation note: the paper's worked example (§IV: e_in ≈ 10230,
+// e_out ≈ 614 at n = 2¹¹, r = 2) pins the probability formulas to the
+// community size s = n/r with log = log₂: p = c·log₂(s)/s and q = c/s.
+// All experiments follow that convention.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced plot: a set of curves over a common x-axis meaning.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteTable renders the figure as an aligned text table, one row per x
+// value and one column per series.
+func (f *Figure) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s — %s\n", f.Name, f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for i := 0; i < f.maxLen(); i++ {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, f.xAt(i))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteTSV renders the figure as tab-separated values with a header row.
+func (f *Figure) WriteTSV(w io.Writer) error {
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i := 0; i < f.maxLen(); i++ {
+		row := []string{f.xAt(i)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Figure) maxLen() int {
+	n := 0
+	for _, s := range f.Series {
+		if len(s.Y) > n {
+			n = len(s.Y)
+		}
+	}
+	return n
+}
+
+func (f *Figure) xAt(i int) string {
+	for _, s := range f.Series {
+		if i < len(s.X) {
+			return fmt.Sprintf("%g", s.X[i])
+		}
+	}
+	return ""
+}
+
+// Config controls experiment scale and averaging.
+type Config struct {
+	// Trials is the number of independent graph samples averaged per data
+	// point (default 3).
+	Trials int
+	// Seed drives all sampling; runs are reproducible.
+	Seed uint64
+	// Quick shrinks graph sizes (for tests and benchmarks); the full sizes
+	// reproduce the paper's axes.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// cdrwFScore generates a PPM graph, runs the full CDRW pool loop, and
+// returns the paper's total F-score (average per-detection F against the
+// seed's ground-truth block).
+func cdrwFScore(cfg gen.PPMConfig, seed uint64) (float64, error) {
+	ppm, err := gen.NewPPM(cfg, rng.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Detect(ppm.Graph,
+		core.WithDelta(cfg.ExpectedConductance()),
+		core.WithSeed(seed+0x9e37),
+	)
+	if err != nil {
+		return 0, err
+	}
+	truth := ppm.TruthCommunities()
+	drs := make([]metrics.DetectionResult, 0, len(res.Detections))
+	for _, det := range res.Detections {
+		drs = append(drs, metrics.DetectionResult{
+			Detected: det.Raw,
+			Truth:    truth[ppm.Truth[det.Stats.Seed]],
+		})
+	}
+	return metrics.TotalFScore(drs)
+}
+
+// averageFScore averages cdrwFScore over cfgTrials independent samples.
+func averageFScore(cfg gen.PPMConfig, base uint64, trials int) (float64, error) {
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		f, err := cdrwFScore(cfg, base+uint64(t)*7919)
+		if err != nil {
+			return 0, fmt.Errorf("trial %d: %w", t, err)
+		}
+		sum += f
+	}
+	return sum / float64(trials), nil
+}

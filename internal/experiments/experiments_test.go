@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	return Config{Trials: 1, Seed: 42, Quick: true}
+}
+
+func TestFig1DOT(t *testing.T) {
+	var plain, coloured bytes.Buffer
+	if err := Fig1DOT(&plain, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig1DOT(&coloured, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() == 0 || coloured.Len() == 0 {
+		t.Fatal("empty DOT output")
+	}
+	if coloured.Len() <= plain.Len() {
+		t.Fatal("coloured output should carry colour attributes")
+	}
+	if !strings.Contains(plain.String(), "--") {
+		t.Fatal("no edges in DOT output")
+	}
+}
+
+func TestFig2QuickShape(t *testing.T) {
+	fig, err := Fig2(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("fig2 has %d series, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 3 {
+			t.Fatalf("series %s has %d points, want 3 (quick sizes)", s.Label, len(s.X))
+		}
+		for i, f := range s.Y {
+			if f < 0 || f > 1 {
+				t.Fatalf("series %s point %d: F=%v out of [0,1]", s.Label, i, f)
+			}
+		}
+		// Largest size should detect well.
+		if s.Y[len(s.Y)-1] < 0.85 {
+			t.Errorf("series %s final F=%v, want ≥0.85", s.Label, s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	fig, err := Fig3(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("fig3 has %d series, want 4 q-curves", len(fig.Series))
+	}
+	// Small-q curves beat the log²n/n curve on average (the paper's
+	// headline ordering).
+	avg := func(ys []float64) float64 {
+		s := 0.0
+		for _, y := range ys {
+			s += y
+		}
+		return s / float64(len(ys))
+	}
+	if avg(fig.Series[0].Y) <= avg(fig.Series[3].Y) {
+		t.Errorf("q=0.1/n average F (%v) not above q=log2n/n (%v)",
+			avg(fig.Series[0].Y), avg(fig.Series[3].Y))
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	a, err := Fig4a(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4b(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{a, b} {
+		if len(fig.Series) != 4 {
+			t.Fatalf("%s has %d series, want 4", fig.Name, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != 3 || s.X[0] != 2 || s.X[2] != 8 {
+				t.Fatalf("%s series %s x-axis = %v, want [2 4 8]", fig.Name, s.Label, s.X)
+			}
+		}
+	}
+}
+
+func TestCongestRoundsQuick(t *testing.T) {
+	fig, err := CongestRounds(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("congest fig has %d series", len(fig.Series))
+	}
+	rounds := fig.Series[0]
+	if len(rounds.Y) < 2 {
+		t.Fatal("need at least two sizes")
+	}
+	// Rounds must grow sublinearly in n (polylog claim).
+	growth := rounds.Y[len(rounds.Y)-1] / rounds.Y[0]
+	nGrowth := rounds.X[len(rounds.X)-1] / rounds.X[0]
+	if growth >= nGrowth {
+		t.Errorf("rounds grew %vx for %vx vertices — not sublinear", growth, nGrowth)
+	}
+}
+
+func TestKMachineScalingQuick(t *testing.T) {
+	fig, err := KMachineScaling(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := fig.Series[0]
+	if len(measured.Y) != 4 {
+		t.Fatalf("kmachine has %d points, want 4", len(measured.Y))
+	}
+	// Monotone decrease in k.
+	for i := 1; i < len(measured.Y); i++ {
+		if measured.Y[i] > measured.Y[i-1] {
+			t.Errorf("rounds increased from k=%v to k=%v: %v -> %v",
+				measured.X[i-1], measured.X[i], measured.Y[i-1], measured.Y[i])
+		}
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	fig, err := Baselines(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("baselines has %d series, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("series %s point %d out of range: %v", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestLocalMixingQuick(t *testing.T) {
+	fig, err := LocalMixing(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("localmix has %d series", len(fig.Series))
+	}
+	local, global := fig.Series[0], fig.Series[1]
+	// The headline gap: at the smallest q, local mixing is much faster
+	// than global mixing.
+	if local.Y[0]*4 > global.Y[0] {
+		t.Fatalf("local mixing time %v not clearly below global %v at small q",
+			local.Y[0], global.Y[0])
+	}
+	// The gap narrows as q grows.
+	last := len(global.Y) - 1
+	if global.Y[last]/local.Y[last] > global.Y[0]/local.Y[0] {
+		t.Error("local/global gap did not narrow as q grew")
+	}
+	// The witnessing set is about one block.
+	witness := fig.Series[2]
+	if witness.Y[0] < 0.9 || witness.Y[0] > 1.5 {
+		t.Errorf("witness size ratio %v, want ≈1 block", witness.Y[0])
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{
+		Name:   "demo",
+		Title:  "demo figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.75}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{0.25, 1}},
+		},
+	}
+	var table, tsv bytes.Buffer
+	if err := fig.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "demo figure") {
+		t.Error("table missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(tsv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tsv has %d lines, want header+2", len(lines))
+	}
+	if lines[0] != "x\ta\tb" {
+		t.Fatalf("tsv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1\t0.5\t0.25") {
+		t.Fatalf("tsv row = %q", lines[1])
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Trials != 3 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{Trials: 7, Seed: 9}.withDefaults()
+	if c.Trials != 7 || c.Seed != 9 {
+		t.Fatalf("explicit config overwritten: %+v", c)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+	"cdrw/internal/viz"
+)
+
+// Fig1DOT reproduces Figure 1: a PPM graph with n=1000, r=5, p=1/20,
+// q=1/1000, rendered as Graphviz DOT. coloured=false gives Figure 1a (no
+// communities shown), coloured=true gives Figure 1b (ground truth in
+// colours).
+func Fig1DOT(w io.Writer, coloured bool, seed uint64) error {
+	cfg := gen.PPMConfig{N: 1000, R: 5, P: 1.0 / 20, Q: 1.0 / 1000}
+	ppm, err := gen.NewPPM(cfg, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	opts := viz.Options{Name: "ppm"}
+	if coloured {
+		opts.Labels = ppm.Truth
+	}
+	return viz.WriteDOT(w, ppm.Graph, opts)
+}
+
+// Fig2 reproduces Figure 2: CDRW accuracy on G(n,p) random graphs (a single
+// planted community) as n grows, for three sparsity levels. The paper's
+// claim: F-score approaches 1.0 once n ≥ 2¹⁰, and denser graphs score
+// higher.
+func Fig2(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{128, 256, 512, 1024, 2048, 4096}
+	if cfg.Quick {
+		sizes = []int{128, 256, 512}
+	}
+	curves := []struct {
+		label string
+		p     func(n int) float64
+	}{
+		{"p=2logn/n", func(n int) float64 { return 2 * gen.Log2(n) / float64(n) }},
+		{"p=log2n/n", func(n int) float64 { return gen.Log2(n) * gen.Log2(n) / float64(n) }},
+		{"p=2log2n/n", func(n int) float64 { return 2 * gen.Log2(n) * gen.Log2(n) / float64(n) }},
+	}
+	fig := &Figure{
+		Name:   "fig2",
+		Title:  "CDRW accuracy on Gnp random graphs",
+		XLabel: "n",
+		YLabel: "F-score",
+	}
+	for ci, c := range curves {
+		s := Series{Label: c.label}
+		for ni, n := range sizes {
+			p := c.p(n)
+			if p > 1 {
+				p = 1
+			}
+			gcfg := gen.PPMConfig{N: n, R: 1, P: p}
+			f, err := averageFScore(gcfg, cfg.Seed+uint64(ci*1000+ni), cfg.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s n=%d: %w", c.label, n, err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, f)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig3 reproduces Figure 3: two planted communities (n = 2¹¹, block size
+// s = 2¹⁰), sweeping the intra-community probability p over four sparsity
+// levels for four inter-community probabilities q. The paper's claim: for
+// q ∈ {0.1/s, 0.6/s} CDRW scores above 0.9 even at the connectivity
+// threshold; accuracy degrades as q approaches log²s/s.
+func Fig3(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	s := 1 << 10
+	if cfg.Quick {
+		s = 1 << 8
+	}
+	sf := float64(s)
+	lg := gen.Log2(s)
+	ps := []struct {
+		label string
+		value float64
+	}{
+		{"p=2logn/n", 2 * lg / sf},
+		{"p=4logn/n", 4 * lg / sf},
+		{"p=log2n/n", lg * lg / sf},
+		{"p=2log2n/n", 2 * lg * lg / sf},
+	}
+	qs := []struct {
+		label string
+		value float64
+	}{
+		{"q=0.1/n", 0.1 / sf},
+		{"q=0.6/n", 0.6 / sf},
+		{"q=logn/n", lg / sf},
+		{"q=log2n/n", lg * lg / sf},
+	}
+	fig := &Figure{
+		Name:   "fig3",
+		Title:  fmt.Sprintf("CDRW on two-community PPM (block size %d)", s),
+		XLabel: "p-index",
+		YLabel: "F-score",
+	}
+	for qi, q := range qs {
+		series := Series{Label: q.label}
+		for pi, p := range ps {
+			gcfg := gen.PPMConfig{N: 2 * s, R: 2, P: p.value, Q: q.value}
+			f, err := averageFScore(gcfg, cfg.Seed+uint64(qi*100+pi*10), cfg.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %s: %w", p.label, q.label, err)
+			}
+			series.X = append(series.X, float64(pi))
+			series.Y = append(series.Y, f)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// fig4Curves is the (p,q) grid of Figure 4, parameterised by block size:
+// the legend's p/q ratios (2/0.1)·log²s, (2/0.6)·log²s, (2/0.1)·log s and
+// (2/0.6)·log s arise from p ∈ {2log²s/s, 2log s/s} × q ∈ {0.1/s, 0.6/s}.
+func fig4Curves(s int) []struct {
+	label string
+	p, q  float64
+} {
+	sf := float64(s)
+	lg := gen.Log2(s)
+	return []struct {
+		label string
+		p, q  float64
+	}{
+		{"p/q=20log2n", 2 * lg * lg / sf, 0.1 / sf},
+		{"p/q=3.3log2n", 2 * lg * lg / sf, 0.6 / sf},
+		{"p/q=20logn", 2 * lg / sf, 0.1 / sf},
+		{"p/q=3.3logn", 2 * lg / sf, 0.6 / sf},
+	}
+}
+
+// Fig4a reproduces Figure 4a: the number of communities r varies with the
+// community size fixed (n = r·2¹⁰), for the four p/q ratio curves. The
+// paper's claim: accuracy decreases slightly as r grows.
+func Fig4a(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	blockSize := 1 << 10
+	if cfg.Quick {
+		blockSize = 1 << 8
+	}
+	return fig4(cfg, "fig4a", "varying r, fixed community size",
+		func(r int) (int, int) { return blockSize * r, blockSize })
+}
+
+// Fig4b reproduces Figure 4b: the total graph size is fixed at n = 8·2¹⁰
+// and the community size shrinks as r grows. Comparing with Fig4a at equal
+// r shows larger communities are easier to detect.
+func Fig4b(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	total := 8 << 10
+	if cfg.Quick {
+		total = 8 << 8
+	}
+	return fig4(cfg, "fig4b", "varying r, fixed graph size",
+		func(r int) (int, int) { return total, total / r })
+}
+
+func fig4(cfg Config, name, title string, dims func(r int) (n, blockSize int)) (*Figure, error) {
+	rs := []int{2, 4, 8}
+	fig := &Figure{
+		Name:   name,
+		Title:  "CDRW accuracy " + title,
+		XLabel: "r",
+		YLabel: "F-score",
+	}
+	// Determine the curve labels from the largest block size used.
+	_, s0 := dims(rs[0])
+	curves := fig4Curves(s0)
+	for ci := range curves {
+		series := Series{Label: curves[ci].label}
+		for ri, r := range rs {
+			n, s := dims(r)
+			params := fig4Curves(s)[ci]
+			gcfg := gen.PPMConfig{N: n, R: r, P: params.p, Q: params.q}
+			f, err := averageFScore(gcfg, cfg.Seed+uint64(ci*1000+ri*10), cfg.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("%s r=%d curve %s: %w", name, r, params.label, err)
+			}
+			series.X = append(series.X, float64(r))
+			series.Y = append(series.Y, f)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

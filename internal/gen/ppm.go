@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"fmt"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// PPMConfig parameterises the symmetric planted partition model G(n,p,q):
+// n vertices split into r equal blocks; vertices in the same block connect
+// independently with probability P, vertices in different blocks with
+// probability Q.
+type PPMConfig struct {
+	N int     // total vertices; must be divisible by R
+	R int     // number of planted communities (blocks)
+	P float64 // intra-community edge probability
+	Q float64 // inter-community edge probability
+}
+
+// Validate checks the configuration.
+func (c PPMConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("gen: PPM n=%d must be positive", c.N)
+	}
+	if c.R <= 0 {
+		return fmt.Errorf("gen: PPM r=%d must be positive", c.R)
+	}
+	if c.N%c.R != 0 {
+		return fmt.Errorf("gen: PPM n=%d not divisible by r=%d", c.N, c.R)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("gen: PPM p=%v out of [0,1]", c.P)
+	}
+	if c.Q < 0 || c.Q > 1 {
+		return fmt.Errorf("gen: PPM q=%v out of [0,1]", c.Q)
+	}
+	return nil
+}
+
+// BlockSize returns n/r, the size of each planted community.
+func (c PPMConfig) BlockSize() int { return c.N / c.R }
+
+// ExpectedIntraEdges returns the expected number of intra-community edges
+// of one block: C(n/r, 2)·p. This is the e_in quantity of §IV.
+func (c PPMConfig) ExpectedIntraEdges() float64 {
+	s := float64(c.BlockSize())
+	return s * (s - 1) / 2 * c.P
+}
+
+// ExpectedInterEdges returns the expected number of edges from one block to
+// the rest of the graph: (n/r)·(n−n/r)·q. This is the e_out quantity of §IV.
+func (c PPMConfig) ExpectedInterEdges() float64 {
+	s := float64(c.BlockSize())
+	return s * (float64(c.N) - s) * c.Q
+}
+
+// ExpectedDegree returns the expected vertex degree p·(n/r−1) + q·(n−n/r).
+func (c PPMConfig) ExpectedDegree() float64 {
+	s := float64(c.BlockSize())
+	return c.P*(s-1) + c.Q*(float64(c.N)-s)
+}
+
+// ExpectedConductance returns the expected conductance of one planted block,
+// q(n−n/r) / (p(n/r−1) + q(n−n/r)). The paper uses this quantity as the stop
+// parameter δ = Φ_G of Algorithm 1.
+func (c PPMConfig) ExpectedConductance() float64 {
+	s := float64(c.BlockSize())
+	out := c.Q * (float64(c.N) - s)
+	deg := c.P*(s-1) + out
+	if deg == 0 {
+		return 0
+	}
+	return out / deg
+}
+
+// PPM samples a planted partition graph together with its ground-truth
+// community assignment. Vertices are laid out contiguously: block i holds
+// vertices [i·n/r, (i+1)·n/r). Truth[v] is the block index of v.
+type PPM struct {
+	Graph  *graph.Graph
+	Truth  []int
+	Config PPMConfig
+}
+
+// NewPPM samples a graph from the planted partition model.
+func NewPPM(cfg PPMConfig, r *rng.RNG) (*PPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	size := cfg.BlockSize()
+	b := graph.NewBuilder(cfg.N)
+	// Intra-community edges: one Gnp per block.
+	for blk := 0; blk < cfg.R; blk++ {
+		base := blk * size
+		samplePairs(size, cfg.P, r, func(u, v int) {
+			b.AddEdge(base+u, base+v)
+		})
+	}
+	// Inter-community edges: one cross-pair sweep per ordered block pair
+	// (i<j), each candidate pair independently with probability q.
+	for i := 0; i < cfg.R; i++ {
+		for j := i + 1; j < cfg.R; j++ {
+			baseI, baseJ := i*size, j*size
+			crossPairs(size, size, cfg.Q, r, func(a, c int) {
+				b.AddEdge(baseI+a, baseJ+c)
+			})
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: PPM build: %w", err)
+	}
+	truth := make([]int, cfg.N)
+	for v := range truth {
+		truth[v] = v / size
+	}
+	return &PPM{Graph: g, Truth: truth, Config: cfg}, nil
+}
+
+// TruthCommunities returns the ground-truth communities as vertex sets.
+func (p *PPM) TruthCommunities() [][]int {
+	size := p.Config.BlockSize()
+	out := make([][]int, p.Config.R)
+	for blk := range out {
+		set := make([]int, size)
+		for i := range set {
+			set[i] = blk*size + i
+		}
+		out[blk] = set
+	}
+	return out
+}
+
+// SBMConfig parameterises a general (possibly asymmetric) stochastic block
+// model: BlockSizes gives the size of each block and Probs[i][j] the edge
+// probability between block i and block j (Probs must be symmetric).
+type SBMConfig struct {
+	BlockSizes []int
+	Probs      [][]float64
+}
+
+// Validate checks the configuration.
+func (c SBMConfig) Validate() error {
+	r := len(c.BlockSizes)
+	if r == 0 {
+		return fmt.Errorf("gen: SBM needs at least one block")
+	}
+	for i, s := range c.BlockSizes {
+		if s <= 0 {
+			return fmt.Errorf("gen: SBM block %d has non-positive size %d", i, s)
+		}
+	}
+	if len(c.Probs) != r {
+		return fmt.Errorf("gen: SBM prob matrix has %d rows, want %d", len(c.Probs), r)
+	}
+	for i := range c.Probs {
+		if len(c.Probs[i]) != r {
+			return fmt.Errorf("gen: SBM prob row %d has %d entries, want %d", i, len(c.Probs[i]), r)
+		}
+		for j, p := range c.Probs[i] {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("gen: SBM prob[%d][%d]=%v out of [0,1]", i, j, p)
+			}
+			if c.Probs[j][i] != p {
+				return fmt.Errorf("gen: SBM prob matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// NewSBM samples a graph from the general stochastic block model. Vertices
+// are laid out block by block in the order of BlockSizes.
+func NewSBM(cfg SBMConfig, r *rng.RNG) (*PPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := 0
+	starts := make([]int, len(cfg.BlockSizes))
+	for i, s := range cfg.BlockSizes {
+		starts[i] = n
+		n += s
+	}
+	b := graph.NewBuilder(n)
+	for i := range cfg.BlockSizes {
+		samplePairs(cfg.BlockSizes[i], cfg.Probs[i][i], r, func(u, v int) {
+			b.AddEdge(starts[i]+u, starts[i]+v)
+		})
+		for j := i + 1; j < len(cfg.BlockSizes); j++ {
+			crossPairs(cfg.BlockSizes[i], cfg.BlockSizes[j], cfg.Probs[i][j], r, func(a, c int) {
+				b.AddEdge(starts[i]+a, starts[j]+c)
+			})
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: SBM build: %w", err)
+	}
+	truth := make([]int, n)
+	for i, s := range cfg.BlockSizes {
+		for v := starts[i]; v < starts[i]+s; v++ {
+			truth[v] = i
+		}
+	}
+	// Report the SBM through the PPM result type with a best-effort config
+	// (p/q meaningful only for the symmetric case).
+	return &PPM{Graph: g, Truth: truth, Config: PPMConfig{N: n, R: len(cfg.BlockSizes)}}, nil
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdrw/internal/rng"
+)
+
+// TestPPMStructuralProperty: across random configurations, generated PPM
+// graphs satisfy the structural invariants (valid simple graph, truth
+// labels matching the block layout, per-block edge probabilities zero when
+// p or q is zero).
+func TestPPMStructuralProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		blocks := 1 + r.Intn(5)
+		size := 4 + r.Intn(40)
+		cfg := PPMConfig{
+			N: blocks * size,
+			R: blocks,
+			P: r.Float64(),
+			Q: r.Float64() * 0.3,
+		}
+		ppm, err := NewPPM(cfg, r.Split())
+		if err != nil {
+			return false
+		}
+		if ppm.Graph.Validate() != nil {
+			return false
+		}
+		for v := 0; v < cfg.N; v++ {
+			if ppm.Truth[v] != v/size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPPMZeroProbabilities: p = 0 gives no intra edges; q = 0 gives no
+// inter edges, for any block structure.
+func TestPPMZeroProbabilities(t *testing.T) {
+	r := rng.New(5)
+	ppm, err := NewPPM(PPMConfig{N: 120, R: 3, P: 0, Q: 0.4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm.Graph.Edges(func(u, v int) bool {
+		if ppm.Truth[u] == ppm.Truth[v] {
+			t.Fatalf("intra edge %d-%d despite p=0", u, v)
+		}
+		return true
+	})
+	ppm, err = NewPPM(PPMConfig{N: 120, R: 3, P: 0.4, Q: 0}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm.Graph.Edges(func(u, v int) bool {
+		if ppm.Truth[u] != ppm.Truth[v] {
+			t.Fatalf("inter edge %d-%d despite q=0", u, v)
+		}
+		return true
+	})
+}
+
+// TestGnpMatchesPPMSingleBlockStream: Gnp and a single-block PPM driven by
+// the same seed produce the same edges (the PPM generator reuses the same
+// pair sampler).
+func TestGnpMatchesPPMSingleBlockStream(t *testing.T) {
+	g1, err := Gnp(200, 0.07, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppm, err := NewPPM(PPMConfig{N: 200, R: 1, P: 0.07}, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != ppm.Graph.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), ppm.Graph.NumEdges())
+	}
+	g1.Edges(func(u, v int) bool {
+		if !ppm.Graph.HasEdge(u, v) {
+			t.Errorf("edge %d-%d missing from single-block PPM", u, v)
+			return false
+		}
+		return true
+	})
+}

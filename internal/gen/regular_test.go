@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"cdrw/internal/rng"
+)
+
+func TestRandomRegularDegrees(t *testing.T) {
+	r := rng.New(1)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {50, 4}, {100, 6}, {64, 1}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if got := g.Degree(v); got != tc.d {
+				t.Fatalf("(%d,%d): deg(%d) = %d", tc.n, tc.d, v, got)
+			}
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	r := rng.New(2)
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+	if _, err := RandomRegular(5, 5, r); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+	if _, err := RandomRegular(0, 0, r); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomRegular(5, -1, r); err == nil {
+		t.Fatal("negative d accepted")
+	}
+}
+
+func TestRandomRegularZeroDegree(t *testing.T) {
+	g, err := RandomRegular(4, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("0-regular graph has %d edges", g.NumEdges())
+	}
+}
+
+func TestRandomRegularConnectedWHP(t *testing.T) {
+	// Random d-regular graphs with d ≥ 3 are connected whp.
+	g, err := RandomRegular(200, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("random 4-regular graph disconnected (astronomically unlikely)")
+	}
+}
+
+func TestRandomRegularSpectralGap(t *testing.T) {
+	// Friedman's theorem (Equation 2): λ₂ ≤ 2√(d−1)/d + o(1) for random
+	// d-regular graphs — comfortably below 1.
+	g, err := RandomRegular(400, 8, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the rw package indirectly: check expansion via a cheaper proxy
+	// here (diameter is O(log n) for an expander).
+	if d := g.Diameter(); d > int(4*math.Log2(400)) {
+		t.Fatalf("8-regular random graph has diameter %d — not an expander", d)
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(60, 4, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(60, 4, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed gave different graphs")
+	}
+	a.Edges(func(u, v int) bool {
+		if !b.HasEdge(u, v) {
+			t.Errorf("edge %d-%d missing in replay", u, v)
+			return false
+		}
+		return true
+	})
+}

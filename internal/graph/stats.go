@@ -1,0 +1,91 @@
+package graph
+
+// Triangles returns the number of triangles in the graph. The analysis of
+// the non-lazy walk relies on Gnp graphs above the connectivity threshold
+// containing odd cycles (aperiodicity); this counter backs that check in
+// tests and diagnostics. Cost: O(Σ_v d(v)²) via neighbour-list merging.
+func (g *Graph) Triangles() int {
+	count := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		nu := g.Neighbors(u)
+		for _, wv := range nu {
+			v := int(wv)
+			if v <= u {
+				continue
+			}
+			// Count common neighbours w > v of u and v: each completes a
+			// triangle u < v < w exactly once.
+			nv := g.Neighbors(v)
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				a, b := nu[i], nv[j]
+				switch {
+				case a == b:
+					if int(a) > v {
+						count++
+					}
+					i++
+					j++
+				case a < b:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// 3·triangles / wedges (0 for graphs with no wedge).
+func (g *Graph) ClusteringCoefficient() float64 {
+	wedges := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(wedges)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d,
+// indexed up to the maximum degree.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// IsBipartite reports whether the graph is 2-colourable. Non-lazy random
+// walks never mix on bipartite graphs; diagnostics use this to explain
+// mixing-time failures.
+func (g *Graph) IsBipartite() bool {
+	n := g.NumVertices()
+	colour := make([]int8, n) // 0 = unvisited, 1/2 = sides
+	for s := 0; s < n; s++ {
+		if colour[s] != 0 {
+			continue
+		}
+		colour[s] = 1
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				v := int(w)
+				if colour[v] == 0 {
+					colour[v] = 3 - colour[u]
+					queue = append(queue, v)
+				} else if colour[v] == colour[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

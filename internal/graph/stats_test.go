@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"cdrw/internal/rng"
+)
+
+func TestTrianglesComplete(t *testing.T) {
+	// K_n has C(n,3) triangles.
+	for _, n := range []int{3, 4, 5, 6} {
+		g := complete(t, n)
+		want := n * (n - 1) * (n - 2) / 6
+		if got := g.Triangles(); got != want {
+			t.Errorf("K%d triangles = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTrianglesTriangleFree(t *testing.T) {
+	if got := path(t, 10).Triangles(); got != 0 {
+		t.Errorf("path triangles = %d", got)
+	}
+	if got := cycle(t, 8).Triangles(); got != 0 {
+		t.Errorf("C8 triangles = %d", got)
+	}
+	// Complete bipartite K_{2,3}.
+	b := NewBuilder(5)
+	for i := 0; i < 2; i++ {
+		for j := 2; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Triangles(); got != 0 {
+		t.Errorf("K23 triangles = %d", got)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// K4: every wedge closes → coefficient 1.
+	if got := complete(t, 4).ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K4 clustering = %v, want 1", got)
+	}
+	// Path: no triangles.
+	if got := path(t, 6).ClusteringCoefficient(); got != 0 {
+		t.Errorf("path clustering = %v", got)
+	}
+	// Empty graph: no wedges.
+	g, err := NewBuilder(3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ClusteringCoefficient(); got != 0 {
+		t.Errorf("empty clustering = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(t, 5) // degrees: 1,2,2,2,1
+	h := g.DegreeHistogram()
+	if len(h) != 3 || h[0] != 0 || h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram = %v, want [0 2 3]", h)
+	}
+	sum := 0
+	for _, c := range h {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("histogram sums to %d vertices", sum)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	if !path(t, 7).IsBipartite() {
+		t.Error("path not bipartite?")
+	}
+	if !cycle(t, 8).IsBipartite() {
+		t.Error("even cycle not bipartite?")
+	}
+	if cycle(t, 7).IsBipartite() {
+		t.Error("odd cycle bipartite?")
+	}
+	if complete(t, 4).IsBipartite() {
+		t.Error("K4 bipartite?")
+	}
+	// Disconnected: one bipartite piece, one odd cycle.
+	b := NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsBipartite() {
+		t.Error("graph containing a triangle reported bipartite")
+	}
+	empty, err := NewBuilder(3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.IsBipartite() {
+		t.Error("edgeless graph should be bipartite")
+	}
+}
+
+func TestTrianglesRandomConsistency(t *testing.T) {
+	// Property: triangle count matches a brute-force check on small random
+	// graphs.
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(10)
+		b := NewDedupBuilder(n)
+		for e := 0; e < 2*n; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				for w := v + 1; w < n; w++ {
+					if g.HasEdge(u, v) && g.HasEdge(v, w) && g.HasEdge(u, w) {
+						brute++
+					}
+				}
+			}
+		}
+		if got := g.Triangles(); got != brute {
+			t.Fatalf("trial %d: Triangles() = %d, brute force = %d", trial, got, brute)
+		}
+	}
+}

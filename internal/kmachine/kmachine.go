@@ -1,0 +1,144 @@
+// Package kmachine implements the k-machine (Big Data) model of Klauck,
+// Nanongkai, Pandurangan & Robinson (SODA 2015) as used in §III-B of the
+// paper: the input graph is partitioned across k machines by the random
+// vertex partition (RVP), machines communicate point-to-point with
+// per-link bandwidth B bits per round, and a CONGEST algorithm is simulated
+// by routing every CONGEST message between the home machines of its
+// endpoints.
+//
+// The simulator consumes the per-round message stream of a
+// congest.Network (via its RoundObserver) and charges, for every CONGEST
+// round, ⌈L/B⌉ k-machine rounds where L is the load (in messages of one
+// O(log n)-bit word) of the most congested machine link — exactly the
+// simulation argument of the Conversion Theorem (part a).
+package kmachine
+
+import (
+	"fmt"
+
+	"cdrw/internal/congest"
+	"cdrw/internal/rng"
+)
+
+// Assignment maps each vertex to its home machine.
+type Assignment struct {
+	// Home[v] is the machine hosting vertex v, in [0, K).
+	Home []int
+	// K is the number of machines.
+	K int
+}
+
+// RandomVertexPartition assigns each of n vertices independently and
+// uniformly to one of k machines (the RVP model of §I-B; real systems
+// implement it by hashing vertex ids).
+func RandomVertexPartition(n, k int, r *rng.RNG) (Assignment, error) {
+	if k < 2 {
+		return Assignment{}, fmt.Errorf("kmachine: need at least 2 machines, got %d", k)
+	}
+	if n < 0 {
+		return Assignment{}, fmt.Errorf("kmachine: negative vertex count %d", n)
+	}
+	home := make([]int, n)
+	for v := range home {
+		home[v] = r.Intn(k)
+	}
+	return Assignment{Home: home, K: k}, nil
+}
+
+// MachineSizes returns how many vertices live on each machine.
+func (a Assignment) MachineSizes() []int {
+	sizes := make([]int, a.K)
+	for _, m := range a.Home {
+		sizes[m]++
+	}
+	return sizes
+}
+
+// Results reports the cost of simulating a CONGEST execution on k machines.
+type Results struct {
+	// Rounds is the k-machine round count: Σ over CONGEST rounds of
+	// ⌈max-link-load / B⌉.
+	Rounds int64
+	// CongestRounds is the number of CONGEST rounds observed.
+	CongestRounds int
+	// TotalMessages counts all CONGEST messages.
+	TotalMessages int64
+	// CrossMessages counts messages whose endpoints live on different
+	// machines (the only ones that cost bandwidth).
+	CrossMessages int64
+	// MaxLinkLoad is the largest per-round load seen on any machine link.
+	MaxLinkLoad int64
+}
+
+// Simulator converts a CONGEST message stream into k-machine rounds.
+// Install its Observer on a congest.Network, run the algorithm, then read
+// Results.
+type Simulator struct {
+	assign  Assignment
+	b       int // link bandwidth in messages (words) per round
+	loads   []int64
+	touched []int
+	res     Results
+}
+
+// NewSimulator creates a converter for the given vertex assignment and link
+// bandwidth B expressed in messages (one O(log n)-bit word each) per round.
+func NewSimulator(assign Assignment, bandwidth int) (*Simulator, error) {
+	if assign.K < 2 {
+		return nil, fmt.Errorf("kmachine: assignment has %d machines", assign.K)
+	}
+	if bandwidth < 1 {
+		return nil, fmt.Errorf("kmachine: bandwidth %d must be ≥ 1 word/round", bandwidth)
+	}
+	return &Simulator{
+		assign: assign,
+		b:      bandwidth,
+		loads:  make([]int64, assign.K*assign.K),
+	}, nil
+}
+
+// Observer returns the congest.RoundObserver to install on the network.
+func (s *Simulator) Observer() congest.RoundObserver {
+	return func(round int, msgs []congest.Traffic) {
+		s.res.CongestRounds++
+		s.res.TotalMessages += int64(len(msgs))
+		for _, msg := range msgs {
+			mi := s.assign.Home[msg.From]
+			mj := s.assign.Home[msg.To]
+			if mi == mj {
+				continue // co-located endpoints: free
+			}
+			s.res.CrossMessages++
+			idx := mi*s.assign.K + mj
+			if s.loads[idx] == 0 {
+				s.touched = append(s.touched, idx)
+			}
+			s.loads[idx]++
+		}
+		var maxLoad int64
+		for _, idx := range s.touched {
+			if s.loads[idx] > maxLoad {
+				maxLoad = s.loads[idx]
+			}
+			s.loads[idx] = 0
+		}
+		s.touched = s.touched[:0]
+		if maxLoad > s.res.MaxLinkLoad {
+			s.res.MaxLinkLoad = maxLoad
+		}
+		s.res.Rounds += (maxLoad + int64(s.b) - 1) / int64(s.b)
+	}
+}
+
+// Results returns the accumulated conversion results.
+func (s *Simulator) Results() Results { return s.res }
+
+// ConversionBound returns the Conversion Theorem's upper bound
+// Õ(M/(k²·B) + ∆·T/(k·B)) on the k-machine rounds needed to simulate a
+// CONGEST execution with M messages, T rounds and maximum degree ∆ (the
+// polylog factor is omitted — callers compare shapes, not constants).
+func ConversionBound(messages int64, rounds, maxDegree, k, bandwidth int) float64 {
+	kk := float64(k)
+	b := float64(bandwidth)
+	return float64(messages)/(kk*kk*b) + float64(maxDegree)*float64(rounds)/(kk*b)
+}

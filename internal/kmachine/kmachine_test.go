@@ -1,0 +1,186 @@
+package kmachine
+
+import (
+	"math"
+	"testing"
+
+	"cdrw/internal/congest"
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+)
+
+func TestRandomVertexPartition(t *testing.T) {
+	r := rng.New(1)
+	assign, err := RandomVertexPartition(1000, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.K != 4 || len(assign.Home) != 1000 {
+		t.Fatalf("assignment shape: K=%d len=%d", assign.K, len(assign.Home))
+	}
+	sizes := assign.MachineSizes()
+	for m, s := range sizes {
+		if math.Abs(float64(s)-250) > 5*math.Sqrt(250) {
+			t.Errorf("machine %d holds %d vertices, want ~250", m, s)
+		}
+	}
+}
+
+func TestRandomVertexPartitionErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomVertexPartition(10, 1, r); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := RandomVertexPartition(-1, 2, r); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	if _, err := NewSimulator(Assignment{K: 1}, 1); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	assign, _ := RandomVertexPartition(4, 2, rng.New(1))
+	if _, err := NewSimulator(assign, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestObserverAccounting(t *testing.T) {
+	// 4 vertices, 2 machines: 0,1 on machine 0; 2,3 on machine 1.
+	assign := Assignment{Home: []int{0, 0, 1, 1}, K: 2}
+	sim, err := NewSimulator(assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observer()
+	// Round 1: one local message (0->1) and two cross messages (1->2, 2->0).
+	obs(1, []congest.Traffic{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}})
+	res := sim.Results()
+	if res.CongestRounds != 1 || res.TotalMessages != 3 || res.CrossMessages != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	// Link loads: (0,1)=1 and (1,0)=1, max 1, B=1 → 1 k-machine round.
+	if res.Rounds != 1 {
+		t.Fatalf("k-machine rounds = %d, want 1", res.Rounds)
+	}
+	// Round 2: three cross messages on the same directed link → 3 rounds.
+	obs(2, []congest.Traffic{{From: 0, To: 2}, {From: 0, To: 3}, {From: 1, To: 3}})
+	res = sim.Results()
+	if res.Rounds != 1+3 {
+		t.Fatalf("k-machine rounds = %d, want 4", res.Rounds)
+	}
+	if res.MaxLinkLoad != 3 {
+		t.Fatalf("max link load = %d, want 3", res.MaxLinkLoad)
+	}
+}
+
+func TestBandwidthDividesLoad(t *testing.T) {
+	assign := Assignment{Home: []int{0, 1}, K: 2}
+	sim, err := NewSimulator(assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observer()
+	msgs := make([]congest.Traffic, 10)
+	for i := range msgs {
+		msgs[i] = congest.Traffic{From: 0, To: 1}
+	}
+	obs(1, msgs)
+	// 10 messages over a B=4 link → ⌈10/4⌉ = 3 rounds.
+	if got := sim.Results().Rounds; got != 3 {
+		t.Fatalf("rounds = %d, want 3", got)
+	}
+}
+
+func TestLocalRoundsAreFree(t *testing.T) {
+	assign := Assignment{Home: []int{0, 0}, K: 2}
+	sim, err := NewSimulator(assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observer()
+	obs(1, []congest.Traffic{{From: 0, To: 1}, {From: 1, To: 0}})
+	res := sim.Results()
+	if res.Rounds != 0 {
+		t.Fatalf("co-located traffic cost %d rounds, want 0", res.Rounds)
+	}
+	if res.CrossMessages != 0 {
+		t.Fatalf("cross messages = %d, want 0", res.CrossMessages)
+	}
+}
+
+func TestEndToEndScalingInK(t *testing.T) {
+	// §III-B: with more machines the same CONGEST execution converts to
+	// fewer k-machine rounds (load spreads over ~k² links).
+	cfgGen := gen.PPMConfig{N: 256, R: 2, P: 2 * gen.Log2(128) / 128, Q: 0.1 / 128}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := map[int]int64{}
+	for _, k := range []int{2, 8} {
+		assign, err := RandomVertexPartition(256, k, rng.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(assign, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := congest.NewNetwork(ppm.Graph, 1)
+		nw.SetObserver(sim.Observer())
+		cfg := congest.DefaultConfig(256)
+		cfg.Delta = cfgGen.ExpectedConductance()
+		if _, _, err := congest.DetectCommunity(nw, 0, cfg); err != nil {
+			t.Fatal(err)
+		}
+		rounds[k] = sim.Results().Rounds
+	}
+	if rounds[8] >= rounds[2] {
+		t.Fatalf("k=8 rounds (%d) not below k=2 rounds (%d)", rounds[8], rounds[2])
+	}
+}
+
+func TestConversionBound(t *testing.T) {
+	// M/k²B + ∆T/kB with M=1000, T=10, ∆=5, k=2, B=1 → 250 + 25 = 275.
+	got := ConversionBound(1000, 10, 5, 2, 1)
+	if math.Abs(got-275) > 1e-9 {
+		t.Fatalf("bound = %v, want 275", got)
+	}
+	// Larger k strictly decreases the bound.
+	if ConversionBound(1000, 10, 5, 4, 1) >= got {
+		t.Fatal("bound not decreasing in k")
+	}
+}
+
+func TestSimulatedRoundsRespectConversionBound(t *testing.T) {
+	// The measured conversion must not exceed the Conversion Theorem bound
+	// by more than a polylog factor; in practice it sits well below it.
+	g, err := gen.Gnp(256, 2*gen.Log2(256)/256, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	assign, err := RandomVertexPartition(256, k, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := congest.NewNetwork(g, 1)
+	nw.SetObserver(sim.Observer())
+	_, stats, err := congest.DetectCommunity(nw, 0, congest.DefaultConfig(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Results()
+	bound := ConversionBound(stats.Metrics.Messages, stats.Metrics.Rounds, g.MaxDegree(), k, 1)
+	// Allow the polylog slack the Õ hides.
+	logN := math.Log2(256)
+	if float64(res.Rounds) > bound*logN*logN {
+		t.Fatalf("measured %d rounds exceeds bound %v (×log²n slack)", res.Rounds, bound)
+	}
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// CommunityScore is the per-detection row of an evaluation report.
+type CommunityScore struct {
+	Index     int
+	Detected  int // |detected set|
+	Truth     int // |ground-truth community|
+	Overlap   int
+	Precision float64
+	Recall    float64
+	FScore    float64
+}
+
+// Report evaluates a full detection run against ground truth: one row per
+// detection plus the aggregate total F-score (the paper's metric).
+type Report struct {
+	Rows   []CommunityScore
+	TotalF float64
+}
+
+// NewReport scores each detection against its associated ground-truth
+// community (results[i].Detected vs results[i].Truth).
+func NewReport(results []DetectionResult) (*Report, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("metrics: no detection results")
+	}
+	rep := &Report{Rows: make([]CommunityScore, len(results))}
+	sum := 0.0
+	for i, r := range results {
+		f := FScore(r.Detected, r.Truth)
+		rep.Rows[i] = CommunityScore{
+			Index:     i,
+			Detected:  len(r.Detected),
+			Truth:     len(r.Truth),
+			Overlap:   Overlap(r.Detected, r.Truth),
+			Precision: Precision(r.Detected, r.Truth),
+			Recall:    Recall(r.Detected, r.Truth),
+			FScore:    f,
+		}
+		sum += f
+	}
+	rep.TotalF = sum / float64(len(results))
+	return rep, nil
+}
+
+// Write renders the report as an aligned table.
+func (r *Report) Write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "community\t|detected|\t|truth|\toverlap\tprecision\trecall\tF")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+			row.Index, row.Detected, row.Truth, row.Overlap,
+			row.Precision, row.Recall, row.FScore)
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t\t\t%.4f\n", r.TotalF)
+	return tw.Flush()
+}
+
+// WorstRows returns the k lowest-scoring rows (ties by index), useful for
+// debugging which communities a run got wrong.
+func (r *Report) WorstRows(k int) []CommunityScore {
+	rows := append([]CommunityScore(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].FScore != rows[j].FScore {
+			return rows[i].FScore < rows[j].FScore
+		}
+		return rows[i].Index < rows[j].Index
+	})
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}

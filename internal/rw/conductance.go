@@ -1,0 +1,129 @@
+package rw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdrw/internal/graph"
+)
+
+// SweepCut orders vertices by their degree-normalised probability p(v)/d(v)
+// (descending) and returns the prefix set with the smallest conductance,
+// along with that conductance. This is the classic spectral sweep used by
+// local clustering algorithms: a walk distribution that has partially
+// converged concentrates, after degree normalisation, on one side of the
+// sparsest cut around its source.
+func SweepCut(g *graph.Graph, p Dist) ([]int, float64, error) {
+	n := g.NumVertices()
+	if len(p) != n {
+		return nil, 0, fmt.Errorf("rw: distribution has %d entries for %d vertices", len(p), n)
+	}
+	if n < 2 || g.NumEdges() == 0 {
+		return nil, 0, fmt.Errorf("rw: sweep cut needs a graph with edges")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			score[v] = math.Inf(-1) // isolated vertices go last
+			continue
+		}
+		score[v] = p[v] / float64(d)
+	}
+	// Sort descending by score, ascending id on ties.
+	quickselectDesc(score, order)
+
+	in := make([]bool, n)
+	vol := 0
+	cut := 0
+	totalVol := g.Volume()
+	bestPhi := math.Inf(1)
+	bestPrefix := 0
+	for i, v := range order[:n-1] { // prefix V would have no cut
+		in[v] = true
+		vol += g.Degree(v)
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				cut-- // edge became internal
+			} else {
+				cut++
+			}
+		}
+		denom := vol
+		if totalVol-vol < denom {
+			denom = totalVol - vol
+		}
+		if denom <= 0 {
+			continue
+		}
+		phi := float64(cut) / float64(denom)
+		if phi < bestPhi {
+			bestPhi = phi
+			bestPrefix = i + 1
+		}
+	}
+	if math.IsInf(bestPhi, 1) {
+		return nil, 0, fmt.Errorf("rw: sweep cut found no valid prefix")
+	}
+	set := make([]int, bestPrefix)
+	copy(set, order[:bestPrefix])
+	return set, bestPhi, nil
+}
+
+// quickselectDesc sorts order fully by descending score (ascending id on
+// ties). A full sort is fine here: SweepCut is called once per conductance
+// estimate, not inside the per-step ladder sweep.
+func quickselectDesc(score []float64, order []int) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if score[a] != score[b] {
+			return score[a] > score[b]
+		}
+		return a < b
+	})
+}
+
+// EstimateConductance estimates the graph's sparsest-cut conductance around
+// a source vertex: it runs the walk for a range of lengths around the local
+// mixing horizon and returns the smallest sweep-cut conductance observed.
+// CDRW uses the estimate as its stop parameter δ when the caller has no
+// ground-truth Φ_G (the paper's Algorithm 1 assumes Φ_G is "given as input,
+// or ... computed using a distributed algorithm, e.g., [28]").
+func EstimateConductance(g *graph.Graph, source, maxSteps int) (float64, error) {
+	n := g.NumVertices()
+	if source < 0 || source >= n {
+		return 0, fmt.Errorf("rw: source %d out of range [0,%d): %w", source, n, graph.ErrVertexOutOfRange)
+	}
+	if maxSteps < 1 {
+		return 0, fmt.Errorf("rw: non-positive step budget %d", maxSteps)
+	}
+	if g.NumEdges() == 0 || n < 2 {
+		return 0, fmt.Errorf("rw: conductance undefined without edges")
+	}
+	p, err := NewPointDist(n, source)
+	if err != nil {
+		return 0, err
+	}
+	next := make(Dist, n)
+	best := math.Inf(1)
+	for t := 1; t <= maxSteps; t++ {
+		p, next = Step(g, p, next), p
+		// Sweep only once the walk has spread beyond the immediate
+		// neighbourhood; very short prefixes give degenerate cuts.
+		if t < 2 {
+			continue
+		}
+		if _, phi, err := SweepCut(g, p); err == nil && phi < best {
+			best = phi
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("rw: no sweep cut found within %d steps", maxSteps)
+	}
+	return best, nil
+}

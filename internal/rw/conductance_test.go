@@ -1,0 +1,228 @@
+package rw
+
+import (
+	"testing"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// dumbbell returns two K_c cliques joined by a single edge.
+func dumbbell(t *testing.T, c int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(2 * c)
+	for i := 0; i < c; i++ {
+		for j := i + 1; j < c; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(c+i, c+j)
+		}
+	}
+	b.AddEdge(c-1, c)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSweepCutFindsDumbbellBridge(t *testing.T) {
+	c := 8
+	g := dumbbell(t, c)
+	d, err := Walk(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, phi, err := SweepCut(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best cut is the bridge: one clique on each side.
+	if len(set) != c {
+		t.Fatalf("sweep cut has %d vertices, want %d", len(set), c)
+	}
+	for _, v := range set {
+		if v >= c {
+			t.Fatalf("sweep cut %v crosses the bridge", set)
+		}
+	}
+	// φ(clique side) = 1 / (c(c−1) + 1).
+	want := 1.0 / float64(c*(c-1)+1)
+	if diff := phi - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("phi = %v, want %v", phi, want)
+	}
+}
+
+func TestSweepCutErrors(t *testing.T) {
+	g := dumbbell(t, 4)
+	if _, _, err := SweepCut(g, Dist{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	empty, err := graph.NewBuilder(3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dist{1, 0, 0}
+	if _, _, err := SweepCut(empty, d); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+func TestEstimateConductanceDumbbell(t *testing.T) {
+	c := 8
+	g := dumbbell(t, c)
+	phi, err := EstimateConductance(g, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(c*(c-1)+1)
+	if phi > 2*want || phi <= 0 {
+		t.Fatalf("estimated conductance %v, true sparsest cut %v", phi, want)
+	}
+}
+
+func TestEstimateConductancePPMMatchesExpectation(t *testing.T) {
+	cfg := gen.PPMConfig{N: 512, R: 2, P: 0.1, Q: 0.002}
+	ppm, err := gen.NewPPM(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := EstimateConductance(ppm.Graph, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := cfg.ExpectedConductance()
+	// The estimate should land within a small factor of the planted cut's
+	// conductance (it can only under-shoot if it finds a sparser cut).
+	if phi > 3*expect {
+		t.Fatalf("estimate %v far above expected block conductance %v", phi, expect)
+	}
+	if phi <= 0 {
+		t.Fatalf("estimate %v not positive", phi)
+	}
+}
+
+func TestEstimateConductanceErrors(t *testing.T) {
+	g := dumbbell(t, 4)
+	if _, err := EstimateConductance(g, -1, 5); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := EstimateConductance(g, 99, 5); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := EstimateConductance(g, 0, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	empty, err := graph.NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateConductance(empty, 0, 5); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+func TestLocalMixingTimeOnBlock(t *testing.T) {
+	// The walk locally mixes on its block (half the graph, β=2) much
+	// earlier than it mixes globally.
+	cfg := gen.PPMConfig{N: 512, R: 2, P: 0.15, Q: 0.0005}
+	ppm, err := gen.NewPPM(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tLocal, ms, err := LocalMixingTime(ppm.Graph, 0, 2.5, 8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Found() {
+		t.Fatal("no witnessing mixing set")
+	}
+	if tLocal > 15 {
+		t.Fatalf("local mixing time %d too large for a dense block", tLocal)
+	}
+	if ms.Size() < 512/3 {
+		t.Fatalf("witness size %d below n/β", ms.Size())
+	}
+}
+
+func TestLocalMixingTimeBetaOne(t *testing.T) {
+	// β = 1 demands mixing on the whole graph.
+	g, err := gen.Gnp(256, 0.1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tGlobal, ms, err := LocalMixingTime(g, 0, 1, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Size() != 256 {
+		t.Fatalf("β=1 witness has %d vertices, want all 256", ms.Size())
+	}
+	if tGlobal < 1 {
+		t.Fatalf("global mixing time %d", tGlobal)
+	}
+}
+
+func TestLocalMixingTimeErrors(t *testing.T) {
+	g := dumbbell(t, 4)
+	if _, _, err := LocalMixingTime(g, -1, 2, 2, 10); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, _, err := LocalMixingTime(g, 0, 0.5, 2, 10); err == nil {
+		t.Fatal("beta < 1 accepted")
+	}
+	if _, _, err := LocalMixingTime(g, 0, 2, 2, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	// A path never satisfies the condition for half the graph quickly.
+	b := graph.NewBuilder(64)
+	for i := 0; i+1 < 64; i++ {
+		b.AddEdge(i, i+1)
+	}
+	path, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LocalMixingTime(path, 0, 2, 8, 3); err == nil {
+		t.Fatal("expected timeout on a path with 3 steps")
+	}
+}
+
+func TestLargestMixingSetOptCustomThreshold(t *testing.T) {
+	g := completeGraph(t, 32)
+	pi := Stationary(g)
+	// An absurdly small threshold rejects even the stationary distribution
+	// restricted to V? No: at stationarity the sum is exactly 0 at size n,
+	// so it always passes. Perturb the distribution slightly instead.
+	d := pi.Clone()
+	d[0] += 0.05
+	d[1] -= 0.05
+	strict, err := LargestMixingSetOpt(g, d, 4, MixOptions{Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := LargestMixingSetOpt(g, d, 4, MixOptions{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Found() {
+		t.Fatal("1e-9 threshold accepted a perturbed distribution")
+	}
+	if !loose.Found() {
+		t.Fatal("0.5 threshold rejected a mildly perturbed distribution")
+	}
+}
+
+func TestSizeLadderWithGrowth(t *testing.T) {
+	slow := SizeLadderWithGrowth(10, 1000, 1.02)
+	fast := SizeLadderWithGrowth(10, 1000, 2)
+	if len(slow) <= len(fast) {
+		t.Fatalf("slower growth must give a longer ladder: %d vs %d", len(slow), len(fast))
+	}
+	// Invalid growth falls back to the paper's factor.
+	def := SizeLadderWithGrowth(10, 1000, 0.5)
+	paper := SizeLadder(10, 1000)
+	if len(def) != len(paper) {
+		t.Fatalf("fallback ladder differs: %d vs %d", len(def), len(paper))
+	}
+}

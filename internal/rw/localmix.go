@@ -1,0 +1,241 @@
+package rw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdrw/internal/graph"
+)
+
+// Constants of Algorithm 1, straight from the paper.
+const (
+	// MixingThreshold is the bound 1/2e on the sum of the |S| smallest x_u
+	// values (line 15 of Algorithm 1).
+	MixingThreshold = 1 / (2 * math.E)
+	// GrowthFactor is the geometric step 1 + 1/8e of the candidate-size
+	// sweep (line 12). The paper grows by this factor instead of doubling
+	// so that some candidate size always lands within the tolerance of the
+	// true mixing-set size (Lemma 3 of Molla–Pandurangan 2018).
+	GrowthFactor = 1 + 1/(8*math.E)
+)
+
+// XValues computes the localised deviation statistic of Algorithm 1 line 13
+// for every vertex: x_u = |p(u) − d(u)/µ'(S)| where µ'(S) = (2m/n)·|S| is
+// the average volume of a size-|S| set. out must have length n and is
+// returned for convenience.
+func XValues(g *graph.Graph, p Dist, size int, out []float64) []float64 {
+	n := g.NumVertices()
+	muPrime := float64(g.Volume()) / float64(n) * float64(size)
+	if muPrime == 0 {
+		// Edgeless graph: d(u)/µ' is 0/0; treat the target as uniform mass
+		// over the candidate size so the statistic stays meaningful.
+		target := 1 / float64(size)
+		for u := 0; u < n; u++ {
+			out[u] = math.Abs(p[u] - target)
+		}
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[u] = math.Abs(p[u] - float64(g.Degree(u))/muPrime)
+	}
+	return out
+}
+
+// SmallestK returns the k vertices with the smallest x values and the sum of
+// those values. Ties are broken by vertex id (smaller id first), which makes
+// the selection deterministic — the distributed implementation breaks ties
+// the same way, standing in for the paper's "add a very small random number
+// to each x_u" trick. The returned ids are sorted ascending.
+func SmallestK(x []float64, k int) ([]int, float64) {
+	n := len(x)
+	if k <= 0 {
+		return nil, 0
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	quickselectK(x, idx, k)
+	sel := idx[:k]
+	sum := 0.0
+	for _, u := range sel {
+		sum += x[u]
+	}
+	out := make([]int, k)
+	copy(out, sel)
+	sort.Ints(out)
+	return out, sum
+}
+
+// xLess orders indices by (x value, id) lexicographically.
+func xLess(x []float64, a, b int) bool {
+	if x[a] != x[b] {
+		return x[a] < x[b]
+	}
+	return a < b
+}
+
+// quickselectK partitions idx so its first k entries are the k smallest
+// indices under (x, id) order, in O(n) expected time. The candidate-size
+// sweep calls it O(log n) times per walk step, so avoiding a full sort per
+// size matters at the paper's largest experiment scale (n = 2¹³).
+func quickselectK(x []float64, idx []int, k int) {
+	lo, hi := 0, len(idx) // the k-th position (k-1) lies within idx[lo:hi]
+	for hi-lo > 16 {
+		// Median-of-three pivot of (first, middle, last).
+		a, b, c := idx[lo], idx[lo+(hi-lo)/2], idx[hi-1]
+		if xLess(x, b, a) {
+			a, b = b, a
+		}
+		if xLess(x, c, b) {
+			b = c
+			if xLess(x, b, a) {
+				b = a
+			}
+		}
+		pivot := b
+		// Hoare partition: afterwards every element in idx[lo:j+1] is ≤
+		// every element in idx[i:hi], with j < i.
+		i, j := lo, hi-1
+		for {
+			for xLess(x, idx[i], pivot) {
+				i++
+			}
+			for xLess(x, pivot, idx[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+			j--
+		}
+		if k-1 <= j {
+			hi = j + 1
+		} else {
+			lo = j + 1
+		}
+	}
+	// Insertion sort the small remainder so idx[:k] ends exactly with the k
+	// smallest entries.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && xLess(x, idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// SizeLadder returns the candidate mixing-set sizes of the sweep: R,
+// ⌈R·(1+1/8e)⌉, … capped at n, each size strictly larger than the previous
+// (line 12 of Algorithm 1).
+func SizeLadder(minSize, n int) []int {
+	return SizeLadderWithGrowth(minSize, n, GrowthFactor)
+}
+
+// SizeLadderWithGrowth is SizeLadder with an explicit growth factor; the
+// ablation experiments use it to show the paper's 1+1/8e choice sits on a
+// plateau (bigger factors risk overshooting the community size, smaller
+// ones only add work). growth must be > 1.
+func SizeLadderWithGrowth(minSize, n int, growth float64) []int {
+	if minSize < 1 {
+		minSize = 1
+	}
+	if minSize > n {
+		return nil
+	}
+	if growth <= 1 {
+		growth = GrowthFactor
+	}
+	var ladder []int
+	size := minSize
+	for {
+		ladder = append(ladder, size)
+		if size >= n {
+			break
+		}
+		next := int(math.Floor(float64(size) * growth))
+		if next <= size {
+			next = size + 1
+		}
+		if next > n {
+			next = n
+		}
+		size = next
+	}
+	return ladder
+}
+
+// MixingSet is the outcome of a largest-mixing-set search at one walk length.
+type MixingSet struct {
+	// Vertices of the mixing set, sorted ascending. Nil if no candidate size
+	// satisfied the mixing condition.
+	Vertices []int
+	// Sum of the |S| smallest x_u values for the accepted size.
+	Sum float64
+	// SizesChecked counts ladder entries evaluated (complexity accounting).
+	SizesChecked int
+}
+
+// Found reports whether any mixing set satisfied the condition.
+func (m MixingSet) Found() bool { return m.Vertices != nil }
+
+// Size returns |S|, or 0 when no set was found.
+func (m MixingSet) Size() int { return len(m.Vertices) }
+
+// MixOptions override the Algorithm 1 constants for ablation studies. Zero
+// fields select the paper's values.
+type MixOptions struct {
+	// Threshold replaces the 1/2e mixing bound.
+	Threshold float64
+	// Growth replaces the 1+1/8e ladder growth factor.
+	Growth float64
+}
+
+func (o MixOptions) withDefaults() MixOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = MixingThreshold
+	}
+	if o.Growth <= 1 {
+		o.Growth = GrowthFactor
+	}
+	return o
+}
+
+// LargestMixingSet finds the largest set S (|S| on the geometric ladder
+// starting at minSize) on which the distribution p satisfies the mixing
+// condition Σ_{|S| smallest x_u} x_u < 1/2e. The whole ladder is evaluated
+// and the largest passing size wins: small candidate sizes legitimately fail
+// while a size matching the walk's current spread passes, so stopping at the
+// first failure would miss the set (§III "the algorithm iterates the
+// checking process ... by increasing the size").
+func LargestMixingSet(g *graph.Graph, p Dist, minSize int) (MixingSet, error) {
+	return LargestMixingSetOpt(g, p, minSize, MixOptions{})
+}
+
+// LargestMixingSetOpt is LargestMixingSet with the Algorithm 1 constants
+// overridable (ablation studies).
+func LargestMixingSetOpt(g *graph.Graph, p Dist, minSize int, opt MixOptions) (MixingSet, error) {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	if len(p) != n {
+		return MixingSet{}, fmt.Errorf("rw: distribution has %d entries for %d vertices", len(p), n)
+	}
+	ladder := SizeLadderWithGrowth(minSize, n, opt.Growth)
+	x := make([]float64, n)
+	best := MixingSet{}
+	for _, size := range ladder {
+		best.SizesChecked++
+		XValues(g, p, size, x)
+		sel, sum := SmallestK(x, size)
+		if sum < opt.Threshold {
+			best.Vertices = sel
+			best.Sum = sum
+		}
+	}
+	return best, nil
+}

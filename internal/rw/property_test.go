@@ -1,0 +1,148 @@
+package rw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// TestStepMassConservationProperty: one walk step conserves probability
+// mass on arbitrary random graphs, including ones with isolated vertices.
+func TestStepMassConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(60)
+		b := graph.NewDedupBuilder(n)
+		edges := r.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		d := make(Dist, n)
+		total := 0.0
+		for v := range d {
+			d[v] = r.Float64()
+			total += d[v]
+		}
+		for v := range d {
+			d[v] /= total
+		}
+		next := make(Dist, n)
+		stepped := Step(g, d, next)
+		return math.Abs(stepped.Sum()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXValuesNonNegativeProperty: the deviation statistic is non-negative
+// and zero exactly when p matches the size-normalised target.
+func TestXValuesNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(40)
+		g, err := gen.Gnp(n, 0.3, r.Split())
+		if err != nil {
+			return false
+		}
+		d := make(Dist, n)
+		d[r.Intn(n)] = 1
+		x := make([]float64, n)
+		size := 1 + r.Intn(n)
+		XValues(g, d, size, x)
+		for _, v := range x {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmallestKSubsetProperty: the selected set has exactly k members,
+// all distinct, and no unselected element is strictly smaller than a
+// selected one under (x, id) order.
+func TestSmallestKSubsetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(60)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(r.Intn(8))
+		}
+		k := 1 + r.Intn(n)
+		sel, _ := SmallestK(x, k)
+		if len(sel) != k {
+			return false
+		}
+		in := make(map[int]bool, k)
+		for _, v := range sel {
+			if v < 0 || v >= n || in[v] {
+				return false
+			}
+			in[v] = true
+		}
+		// No outside element strictly below the maximum selected key.
+		var maxSel int = sel[0]
+		for _, v := range sel {
+			if x[v] > x[maxSel] || (x[v] == x[maxSel] && v > maxSel) {
+				maxSel = v
+			}
+		}
+		for u := 0; u < n; u++ {
+			if in[u] {
+				continue
+			}
+			if x[u] < x[maxSel] || (x[u] == x[maxSel] && u < maxSel) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargestMixingSetDeterministicProperty: the search is a pure function
+// of (graph, distribution, minSize).
+func TestLargestMixingSetDeterministicProperty(t *testing.T) {
+	g, err := gen.Gnp(128, 0.1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Walk(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LargestMixingSet(g, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LargestMixingSet(g, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() || a.Sum != b.Sum {
+		t.Fatalf("repeated searches differ: %d/%v vs %d/%v", a.Size(), a.Sum, b.Size(), b.Sum)
+	}
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			t.Fatal("vertex sets differ between identical searches")
+		}
+	}
+}

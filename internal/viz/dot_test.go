@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cdrw/internal/graph"
+)
+
+func triangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteDOTUncoloured(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, triangle(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph G {") {
+		t.Fatalf("missing header: %q", out[:20])
+	}
+	for _, edge := range []string{"0 -- 1", "1 -- 2", "0 -- 2"} {
+		if !strings.Contains(out, edge) {
+			t.Errorf("missing edge %q", edge)
+		}
+	}
+	if strings.Contains(out, "#e6194b") {
+		t.Error("uncoloured drawing contains palette colour")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("missing closing brace")
+	}
+}
+
+func TestWriteDOTColoured(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, triangle(t), Options{
+		Name:   "ppm",
+		Labels: []int{0, 0, 1},
+		Layout: "neato",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph ppm {") {
+		t.Error("custom name not used")
+	}
+	if !strings.Contains(out, "layout=neato") {
+		t.Error("custom layout not used")
+	}
+	if !strings.Contains(out, palette[0]) || !strings.Contains(out, palette[1]) {
+		t.Error("community colours missing")
+	}
+}
+
+func TestWriteDOTUnlabeledVertexGrey(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, triangle(t), Options{Labels: []int{0, -1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#808080") {
+		t.Error("unlabeled vertex not grey")
+	}
+}
+
+func TestWriteDOTLabelLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, triangle(t), Options{Labels: []int{0}}); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+}
+
+func TestWriteDOTPaletteWraps(t *testing.T) {
+	var buf bytes.Buffer
+	labels := []int{len(palette), 0, 1} // wraps to palette[0]
+	if err := WriteDOT(&buf, triangle(t), Options{Labels: labels}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), palette[0]) {
+		t.Error("palette wrap missing")
+	}
+}
