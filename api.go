@@ -93,6 +93,16 @@ type (
 	Dist = rw.Dist
 	// MixingSet is the outcome of a largest-mixing-set search.
 	MixingSet = rw.MixingSet
+	// WalkEngine evolves a walk distribution with a hybrid sparse/dense
+	// kernel: a sparse frontier while the support is small, the flat dense
+	// kernel past the density threshold. The in-memory detection engines
+	// (Detect, DetectParallel) step on it; the CONGEST engine keeps its
+	// per-round flooding but shares the rw mixing-set and sweep-cut math.
+	WalkEngine = rw.WalkEngine
+	// BatchWalkEngine advances many walks in lockstep, each on the hybrid
+	// kernel; SetFused optionally merges the dense steps of the whole
+	// batch into one interleaved pass over the adjacency arrays.
+	BatchWalkEngine = rw.BatchWalkEngine
 )
 
 // Walk constants of Algorithm 1.
@@ -108,6 +118,17 @@ func Stationary(g *Graph) Dist { return rw.Stationary(g) }
 
 // Walk evolves a point distribution from source for the given steps.
 func Walk(g *Graph, source, steps int) (Dist, error) { return rw.Walk(g, source, steps) }
+
+// NewWalkEngine returns a reusable hybrid sparse/dense walk engine over g.
+// Call Reset(source), then Step/Advance; Dist exposes the current
+// distribution.
+func NewWalkEngine(g *Graph) *WalkEngine { return rw.NewWalkEngine(g) }
+
+// NewBatchWalkEngine returns a lockstep engine over one walk per source
+// (duplicates allowed).
+func NewBatchWalkEngine(g *Graph, sources []int) (*BatchWalkEngine, error) {
+	return rw.NewBatchWalkEngine(g, sources)
+}
 
 // MixingTime returns the ε-near mixing time from source.
 func MixingTime(g *Graph, source int, eps float64, maxSteps int) (int, error) {
@@ -217,6 +238,15 @@ func CongestDetect(nw *CongestNetwork, cfg CongestConfig) (*CongestResult, error
 // CongestDetectCommunity runs distributed CDRW for one seed.
 func CongestDetectCommunity(nw *CongestNetwork, s int, cfg CongestConfig) ([]int, congest.CommunityStats, error) {
 	return congest.DetectCommunity(nw, s, cfg)
+}
+
+// CongestEstimateConductance estimates the conductance around source inside
+// the CONGEST model (flooding walk + sweep cuts, with round/message
+// accounting); the estimate can seed CongestConfig.Delta when no
+// ground-truth Φ_G is available. depthLimit bounds the BFS tree as in
+// CongestConfig.TreeDepthLimit (negative = unbounded).
+func CongestEstimateConductance(nw *CongestNetwork, source, maxSteps, depthLimit int) (float64, error) {
+	return congest.EstimateConductance(nw, source, maxSteps, depthLimit)
 }
 
 // RandomVertexPartition assigns vertices uniformly to k machines (RVP).

@@ -190,6 +190,103 @@ func BenchmarkWalkStep(b *testing.B) {
 	}
 }
 
+// benchWalkGraph samples a 10-block PPM with average intra-degree ~20 —
+// the sparse regime (m = Θ(n log n)-ish) where the paper's local-mixing
+// analysis says the early walk steps dominate.
+func benchWalkGraph(b *testing.B, n int) *cdrw.Graph {
+	b.Helper()
+	blocks := 10
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 20 / bs, Q: 0.2 / bs}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ppm.Graph
+}
+
+// benchWalkEngine measures the early steps of a point-source walk — the
+// regime the hybrid engine's sparse frontier targets — and reports ns/step.
+// forceDense pins the engine to the legacy dense kernel as the baseline.
+// Reset runs outside the timer: its cost is asymmetric between the kernels
+// (O(support) sparse, O(n) dense) and the metric compares stepping alone.
+func benchWalkEngine(b *testing.B, n, steps int, forceDense bool) {
+	g := benchWalkGraph(b, n)
+	eng := cdrw.NewWalkEngine(g)
+	if forceDense {
+		eng.SetDenseThreshold(0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := eng.Reset(i % n); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		eng.Advance(steps)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+}
+
+// BenchmarkWalkEngineSparse10k: hybrid engine, n = 10⁴, 3 early steps of a
+// point distribution.
+func BenchmarkWalkEngineSparse10k(b *testing.B) { benchWalkEngine(b, 10_000, 3, false) }
+
+// BenchmarkWalkEngineDense10k: the dense-kernel baseline on the same walk.
+func BenchmarkWalkEngineDense10k(b *testing.B) { benchWalkEngine(b, 10_000, 3, true) }
+
+// BenchmarkWalkEngineSparse100k: hybrid engine, n = 10⁵.
+func BenchmarkWalkEngineSparse100k(b *testing.B) { benchWalkEngine(b, 100_000, 3, false) }
+
+// BenchmarkWalkEngineDense100k: dense baseline, n = 10⁵. The acceptance bar
+// for the hybrid engine is ≥ 3× faster ns/step than this.
+func BenchmarkWalkEngineDense100k(b *testing.B) { benchWalkEngine(b, 100_000, 3, true) }
+
+// batchBenchSetup prepares 8 spread-out point walks over the n=10⁵ bench
+// graph; both batch benchmarks measure the dense phase, where the fused CSR
+// pass is the differentiator.
+func batchBenchSetup(b *testing.B) (*cdrw.Graph, []int) {
+	g := benchWalkGraph(b, 100_000)
+	n := g.NumVertices()
+	const walks = 8
+	sources := make([]int, walks)
+	for i := range sources {
+		sources[i] = i * n / walks
+	}
+	return g, sources
+}
+
+// benchBatchWalk measures 8 dense lockstep walks (ns per step per walk),
+// fused or per-walk. On this PPM workload a solo walk's writes stay inside
+// one block's index range, so the unfused default wins; the fused
+// interleaved pass is for expander-like graphs whose per-walk arrays
+// outgrow the cache.
+func benchBatchWalk(b *testing.B, fused bool) {
+	g, sources := batchBenchSetup(b)
+	batch, err := cdrw.NewBatchWalkEngine(g, sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.SetFused(fused)
+	for i := range sources {
+		batch.Engine(i).SetDenseThreshold(0)
+	}
+	batch.Step() // warm past the point distribution
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(sources)), "ns/step")
+}
+
+// BenchmarkBatchWalkFused100k: the fused interleaved CSR pass.
+func BenchmarkBatchWalkFused100k(b *testing.B) { benchBatchWalk(b, true) }
+
+// BenchmarkBatchWalkUnfused100k: the default per-walk lockstep stepping.
+func BenchmarkBatchWalkUnfused100k(b *testing.B) { benchBatchWalk(b, false) }
+
 // BenchmarkLargestMixingSet measures one full candidate-size sweep
 // (Algorithm 1 lines 12–17) on a mixed distribution.
 func BenchmarkLargestMixingSet(b *testing.B) {

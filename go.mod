@@ -1,0 +1,3 @@
+module cdrw
+
+go 1.24

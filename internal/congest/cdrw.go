@@ -93,26 +93,10 @@ func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 		return nil, stats, err
 	}
 	stats.TreeDepth = tree.MaxDepth()
-	covered := make([]int32, 0, tree.Size())
-	for _, lvl := range tree.Levels {
-		for _, v := range lvl {
-			covered = append(covered, int32(v))
-		}
-	}
-	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
+	covered := tree.CoveredVertices()
 
-	// Walk state (node-local in the real protocol).
-	p := make(rw.Dist, n)
-	p[s] = 1
-	next := make(rw.Dist, n)
+	ws := newWalkState(nw, s)
 	x := make([]float64, n)
-
-	degInv := make([]float64, n)
-	for v := 0; v < n; v++ {
-		if d := g.Degree(v); d > 0 {
-			degInv[v] = 1 / float64(d)
-		}
-	}
 
 	var prevSet []int
 	stalled := 0
@@ -129,10 +113,9 @@ func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 	ladder := rw.SizeLadder(cfg.MinCommunitySize, n)
 	for l := 1; l <= cfg.MaxWalkLength; l++ {
 		stats.WalkLength = l
-		nw.floodStep(p, next, degInv)
-		p, next = next, p
+		ws.flood(nw)
 
-		curSet := nw.largestMixingSet(tree, covered, p, x, ladder)
+		curSet := nw.largestMixingSet(tree, covered, ws.p, x, ladder)
 		if prevSet != nil && curSet != nil {
 			grown := float64(len(curSet)) >= (1+cfg.Delta)*float64(len(prevSet))
 			if !grown {
@@ -152,6 +135,38 @@ func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 		return finish(prevSet, false)
 	}
 	return finish([]int{s}, false)
+}
+
+// walkState is the node-local flooding state (distribution, spare buffer,
+// inverse-degree table) shared by DetectCommunity and EstimateConductance,
+// so the two entry points cannot drift in how they initialise and evolve
+// the walk.
+type walkState struct {
+	p, next rw.Dist
+	degInv  []float64
+}
+
+func newWalkState(nw *Network, source int) *walkState {
+	g := nw.Graph()
+	n := g.NumVertices()
+	ws := &walkState{
+		p:      make(rw.Dist, n),
+		next:   make(rw.Dist, n),
+		degInv: make([]float64, n),
+	}
+	ws.p[source] = 1
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			ws.degInv[v] = 1 / float64(d)
+		}
+	}
+	return ws
+}
+
+// flood advances the walk by one communication round.
+func (ws *walkState) flood(nw *Network) {
+	nw.floodStep(ws.p, ws.next, ws.degInv)
+	ws.p, ws.next = ws.next, ws.p
 }
 
 // floodStep performs one communication round of probability flooding
@@ -183,10 +198,13 @@ func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
 // mixing condition, or nil. Membership is materialised by one extra
 // broadcast of the winning threshold key, after which every node knows
 // locally whether it belongs to S_ℓ.
+// The per-node x_u computation is rw.XValueAt — the exact function the
+// reference engine sweeps with — so the two engines share one definition of
+// the statistic; this simulator only owns the tree selection and the
+// round/message accounting around it.
 func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []float64, ladder []int) []int {
 	g := nw.Graph()
 	n := g.NumVertices()
-	vol := float64(g.Volume())
 	var (
 		bestThreshold key
 		bestSize      int
@@ -194,13 +212,9 @@ func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []
 		bestX         = math.NaN() // µ' of winning size, for re-deriving x
 	)
 	for _, size := range ladder {
-		muPrime := vol / float64(n) * float64(size)
+		muPrime := rw.MuPrime(g, size)
 		nw.parallelFor(n, func(u int) {
-			if muPrime == 0 {
-				x[u] = math.Abs(p[u] - 1/float64(size))
-				return
-			}
-			x[u] = math.Abs(p[u] - float64(g.Degree(u))/muPrime)
+			x[u] = rw.XValueAt(g, p, u, size, muPrime)
 		})
 		threshold, sum, ok := nw.selectKSmallest(tree, covered, x, size)
 		if ok && sum < rw.MixingThreshold {
@@ -219,13 +233,7 @@ func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []
 	nw.Broadcast(tree)
 	set := make([]int, 0, bestSize)
 	for _, v := range covered {
-		var xv float64
-		if bestX == 0 {
-			xv = math.Abs(p[v] - 1/float64(bestSize))
-		} else {
-			xv = math.Abs(p[v] - float64(g.Degree(int(v)))/bestX)
-		}
-		k := key{x: xv, id: v}
+		k := key{x: rw.XValueAt(g, p, int(v), bestSize, bestX), id: v}
 		if keyLess(k, bestThreshold) || k == bestThreshold {
 			set = append(set, int(v))
 		}

@@ -1,0 +1,73 @@
+package congest
+
+import (
+	"math"
+	"testing"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// TestEstimateConductanceMatchesReference: the distributed estimator sweeps
+// the same walk distribution as rw.EstimateConductance, so the two estimates
+// agree up to the flooding kernels' summation-order rounding, and the run
+// consumes CONGEST rounds and messages.
+func TestEstimateConductanceMatchesReference(t *testing.T) {
+	ppm, err := gen.NewPPM(gen.PPMConfig{N: 128, R: 2, P: 0.25, Q: 0.01}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const source, steps = 0, 8
+	want, err := rw.EstimateConductance(ppm.Graph, source, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(ppm.Graph, 1)
+	got, err := EstimateConductance(nw, source, steps, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("congest estimate %v, reference %v", got, want)
+	}
+	m := nw.Metrics()
+	if m.Rounds < steps || m.Messages == 0 {
+		t.Fatalf("estimate consumed rounds=%d messages=%d, want ≥ %d rounds and > 0 messages",
+			m.Rounds, m.Messages, steps)
+	}
+}
+
+// TestEstimateConductanceDepthLimited: a bounded BFS tree restricts the
+// sweep to the covered ball; the estimate still comes back finite and
+// positive on a connected graph.
+func TestEstimateConductanceDepthLimited(t *testing.T) {
+	ppm, err := gen.NewPPM(gen.PPMConfig{N: 128, R: 2, P: 0.25, Q: 0.01}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(ppm.Graph, 1)
+	phi, err := EstimateConductance(nw, 0, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi <= 0 || math.IsInf(phi, 0) || math.IsNaN(phi) {
+		t.Fatalf("depth-limited estimate %v not a positive finite conductance", phi)
+	}
+}
+
+// TestEstimateConductanceRejectsBadInput: argument validation mirrors the
+// reference estimator.
+func TestEstimateConductanceRejectsBadInput(t *testing.T) {
+	ppm, err := gen.NewPPM(gen.PPMConfig{N: 64, R: 2, P: 0.3, Q: 0.02}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(ppm.Graph, 1)
+	if _, err := EstimateConductance(nw, -1, 5, -1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := EstimateConductance(nw, 0, 0, -1); err == nil {
+		t.Fatal("zero step budget accepted")
+	}
+}

@@ -1,5 +1,7 @@
 package congest
 
+import "sort"
+
 // Tree is a BFS spanning tree rooted at a source node, built by distributed
 // flooding (Algorithm 1 line 5). It is the communication backbone for the
 // broadcast and convergecast primitives.
@@ -24,6 +26,19 @@ func (t *Tree) Size() int {
 
 // MaxDepth returns the depth of the deepest tree level.
 func (t *Tree) MaxDepth() int { return len(t.Levels) - 1 }
+
+// CoveredVertices returns the tree's nodes sorted ascending — the vertex
+// set visible to the root through convergecasts.
+func (t *Tree) CoveredVertices() []int32 {
+	covered := make([]int32, 0, t.Size())
+	for _, lvl := range t.Levels {
+		for _, v := range lvl {
+			covered = append(covered, int32(v))
+		}
+	}
+	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
+	return covered
+}
 
 // BuildTree constructs a BFS tree of bounded depth from root by distributed
 // flooding: in round d every depth-d node announces itself to all

@@ -154,9 +154,92 @@ func (r *Result) Labels(n int) []int {
 	return labels
 }
 
+func (c *config) validate() error {
+	if c.delta < 0 {
+		return fmt.Errorf("core: negative delta %v", c.delta)
+	}
+	if c.minSize < 1 || c.maxLen < 1 || c.patience < 1 {
+		return fmt.Errorf("core: options must be positive (minSize=%d maxLen=%d patience=%d)",
+			c.minSize, c.maxLen, c.patience)
+	}
+	return nil
+}
+
+// communityTracker applies the Algorithm 1 stop rule (lines 18–20) to the
+// stream of per-length mixing sets of one seed's walk. It is the single
+// home of the stop logic: DetectCommunity feeds it from a solo WalkEngine
+// and DetectParallel from a BatchWalkEngine, so the two paths cannot drift.
+type communityTracker struct {
+	cfg     *config
+	stats   CommunityStats
+	prev    rw.MixingSet
+	stalled int
+	done    bool
+	outSet  []int
+}
+
+func newCommunityTracker(cfg *config, seed int) *communityTracker {
+	return &communityTracker{cfg: cfg, stats: CommunityStats{Seed: seed}}
+}
+
+// observe records the largest mixing set found after walk step l and returns
+// true when the stop rule fires. The rule compares consecutive *existing*
+// mixing sets. While the walk is still spreading, no candidate size passes
+// the mixing condition at all (the ball outgrows the last passing size
+// before the next ladder size becomes reachable); those steps are part of
+// the growth phase, not a stall, so they are skipped rather than counted
+// against the (1+δ) rule.
+func (t *communityTracker) observe(l int, cur rw.MixingSet) bool {
+	t.stats.WalkLength = l
+	t.stats.SizesChecked += cur.SizesChecked
+	if t.prev.Found() && cur.Found() {
+		grown := float64(cur.Size()) >= (1+t.cfg.delta)*float64(t.prev.Size())
+		if !grown {
+			t.stalled++
+			if t.stalled >= t.cfg.patience {
+				// Output S_{ℓ-1}, the last set before the stall run began
+				// (Algorithm 1 line 20).
+				t.settle(true)
+				return true
+			}
+			// Keep prev (the pre-stall set) while waiting out the plateau.
+			return false
+		}
+		t.stalled = 0
+	}
+	if cur.Found() {
+		t.prev = cur
+	}
+	return false
+}
+
+// settle finalises the community, either because the stop rule fired
+// (stopped) or because the walk-length cap was reached. With no mixing set
+// at any length (pathological inputs: tiny graphs, isolated vertices) it
+// falls back to the singleton community {s}. At the cap, FinalSetSize
+// reports the mixing set's size before the seed is re-inserted, matching
+// the reference engine's historical accounting.
+func (t *communityTracker) settle(stopped bool) {
+	t.done = true
+	t.stats.Stopped = stopped
+	if !t.prev.Found() {
+		t.outSet = []int{t.stats.Seed}
+		t.stats.FinalSetSize = 1
+		return
+	}
+	t.outSet = withSeed(t.prev.Vertices, t.stats.Seed)
+	if stopped {
+		t.stats.FinalSetSize = len(t.outSet)
+	} else {
+		t.stats.FinalSetSize = t.prev.Size()
+	}
+}
+
 // DetectCommunity computes the community containing seed s: it walks from s,
 // tracks the largest local mixing set at every length, and stops when the
-// set's size stalls (Algorithm 1 lines 5–20).
+// set's size stalls (Algorithm 1 lines 5–20). The walk runs on the hybrid
+// sparse/dense engine of internal/rw, so the early steps — where the
+// distribution is a small ball around s — cost only the support size.
 func DetectCommunity(g *graph.Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
 	n := g.NumVertices()
 	cfg := defaultConfig(n)
@@ -166,69 +249,35 @@ func DetectCommunity(g *graph.Graph, s int, opts ...Option) ([]int, CommunitySta
 	if s < 0 || s >= n {
 		return nil, CommunityStats{}, fmt.Errorf("core: seed %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
 	}
-	if cfg.delta < 0 {
-		return nil, CommunityStats{}, fmt.Errorf("core: negative delta %v", cfg.delta)
-	}
-	if cfg.minSize < 1 || cfg.maxLen < 1 || cfg.patience < 1 {
-		return nil, CommunityStats{}, fmt.Errorf("core: options must be positive (minSize=%d maxLen=%d patience=%d)",
-			cfg.minSize, cfg.maxLen, cfg.patience)
+	if err := cfg.validate(); err != nil {
+		return nil, CommunityStats{}, err
 	}
 
-	stats := CommunityStats{Seed: s}
-	p, err := rw.NewPointDist(n, s)
-	if err != nil {
-		return nil, stats, err
-	}
-	next := make(rw.Dist, n)
+	return detectCommunity(g, rw.NewWalkEngine(g), s, &cfg)
+}
 
-	var prev rw.MixingSet
-	stalled := 0
+// detectCommunity is the engine-level detection loop shared by
+// DetectCommunity and the Detect pool loop (which reuses one WalkEngine
+// across all its seeds instead of reallocating per seed).
+func detectCommunity(g *graph.Graph, eng *rw.WalkEngine, s int, cfg *config) ([]int, CommunityStats, error) {
+	if err := eng.Reset(s); err != nil {
+		return nil, CommunityStats{Seed: s}, err
+	}
+	trk := newCommunityTracker(cfg, s)
 	for l := 1; l <= cfg.maxLen; l++ {
-		stats.WalkLength = l
-		p, next = rw.Step(g, p, next), p
-		cur, err := rw.LargestMixingSetOpt(g, p, cfg.minSize, cfg.mix)
+		eng.Step()
+		cur, err := rw.LargestMixingSetOpt(g, eng.Dist(), cfg.minSize, cfg.mix)
 		if err != nil {
-			return nil, stats, err
+			return nil, trk.stats, err
 		}
-		stats.SizesChecked += cur.SizesChecked
-		// The stop rule compares consecutive *existing* mixing sets. While
-		// the walk is still spreading, no candidate size passes the mixing
-		// condition at all (the ball outgrows the last passing size before
-		// the next ladder size becomes reachable); those steps are part of
-		// the growth phase, not a stall, so they are skipped rather than
-		// counted against the (1+δ) rule.
-		if prev.Found() && cur.Found() {
-			grown := float64(cur.Size()) >= (1+cfg.delta)*float64(prev.Size())
-			if !grown {
-				stalled++
-				if stalled >= cfg.patience {
-					// Output S_{ℓ-1}, the last set before the stall run
-					// began (Algorithm 1 line 20).
-					stats.Stopped = true
-					out := withSeed(prev.Vertices, s)
-					stats.FinalSetSize = len(out)
-					return out, stats, nil
-				}
-				// Keep prev (the pre-stall set) while waiting out the
-				// plateau.
-				continue
-			}
-			stalled = 0
-		}
-		if cur.Found() {
-			prev = cur
+		if trk.observe(l, cur) {
+			return trk.outSet, trk.stats, nil
 		}
 	}
 	// Length cap reached without the stop rule firing: emit the best set so
 	// far. A seed in a well-mixed graph ends up here with S = V.
-	if prev.Found() {
-		stats.FinalSetSize = prev.Size()
-		return withSeed(prev.Vertices, s), stats, nil
-	}
-	// No mixing set at any length (pathological inputs: tiny graphs,
-	// isolated vertices). Fall back to the singleton community {s}.
-	stats.FinalSetSize = 1
-	return []int{s}, stats, nil
+	trk.settle(false)
+	return trk.outSet, trk.stats, nil
 }
 
 // withSeed ensures the seed vertex belongs to its community: the paper
@@ -258,7 +307,11 @@ func Detect(g *graph.Graph, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	r := rng.New(cfg.seed)
+	eng := rw.NewWalkEngine(g)
 
 	assigned := make([]bool, n)
 	pool := make([]int, n)
@@ -268,7 +321,7 @@ func Detect(g *graph.Graph, opts ...Option) (*Result, error) {
 	res := &Result{}
 	for len(pool) > 0 {
 		s := pool[r.Intn(len(pool))]
-		community, stats, err := DetectCommunity(g, s, opts...)
+		community, stats, err := detectCommunity(g, eng, s, &cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: community of seed %d: %w", s, err)
 		}

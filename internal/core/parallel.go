@@ -6,13 +6,17 @@ import (
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
+	"cdrw/internal/rw"
 )
 
 // DetectParallel implements the extension sketched in the paper's
 // conclusion: "our algorithm can also be extended to find communities even
 // faster (by finding communities in parallel), assuming we know an
-// (estimate) of r". It draws r seeds, runs the per-seed detection of
-// Algorithm 1 concurrently (one goroutine per seed), and resolves overlaps
+// (estimate) of r". It draws r seeds and advances all r walks in lockstep
+// on a shared batched walk engine, one goroutine per walk and step: each
+// goroutine advances its walk (hybrid sparse/dense kernel) and runs its
+// mixing-set search, so stepping and sweeping overlap across cores. It then
+// resolves overlaps
 // deterministically: a vertex claimed by several detections goes to the one
 // whose seed drew the lower pool position. Vertices claimed by no detection
 // are attached to the claiming community most frequent among their
@@ -63,26 +67,54 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 		}
 	}
 
-	// Detect all seeds' communities concurrently.
-	type outcome struct {
-		community []int
-		stats     CommunityStats
-		err       error
+	// Detect all seeds' communities in lockstep: per walk length, one
+	// goroutine per live walk advances that walk and runs its mixing-set
+	// search. Each walk's arithmetic and stop rule are exactly
+	// DetectCommunity's, so the outcome per seed is identical to running
+	// the seeds one by one.
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	outcomes := make([]outcome, r)
-	var wg sync.WaitGroup
+	batch, err := rw.NewBatchWalkEngine(g, seeds)
+	if err != nil {
+		return nil, err
+	}
+	trackers := make([]*communityTracker, r)
 	for i, s := range seeds {
-		wg.Add(1)
-		go func(i, s int) {
-			defer wg.Done()
-			com, stats, err := DetectCommunity(g, s, opts...)
-			outcomes[i] = outcome{community: com, stats: stats, err: err}
-		}(i, s)
+		trackers[i] = newCommunityTracker(&cfg, s)
 	}
-	wg.Wait()
-	for i := range outcomes {
-		if outcomes[i].err != nil {
-			return nil, fmt.Errorf("core: parallel community of seed %d: %w", seeds[i], outcomes[i].err)
+	errs := make([]error, r)
+	for l := 1; l <= cfg.maxLen && batch.Active() > 0; l++ {
+		var wg sync.WaitGroup
+		for i := range trackers {
+			if trackers[i].done || errs[i] != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i, l int) {
+				defer wg.Done()
+				batch.StepWalk(i)
+				cur, err := rw.LargestMixingSetOpt(g, batch.Dist(i), cfg.minSize, cfg.mix)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				trackers[i].observe(l, cur)
+			}(i, l)
+		}
+		wg.Wait()
+		for i := range trackers {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("core: parallel community of seed %d: %w", seeds[i], errs[i])
+			}
+			if trackers[i].done && !batch.Halted(i) {
+				batch.Halt(i)
+			}
+		}
+	}
+	for _, t := range trackers {
+		if !t.done {
+			t.settle(false)
 		}
 	}
 
@@ -92,15 +124,15 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 		owner[v] = -1
 	}
 	res := &Result{Detections: make([]Detection, r)}
-	for i, oc := range outcomes {
-		kept := make([]int, 0, len(oc.community))
-		for _, v := range oc.community {
+	for i, t := range trackers {
+		kept := make([]int, 0, len(t.outSet))
+		for _, v := range t.outSet {
 			if owner[v] < 0 {
 				owner[v] = i
 				kept = append(kept, v)
 			}
 		}
-		res.Detections[i] = Detection{Raw: oc.community, Assigned: kept, Stats: oc.stats}
+		res.Detections[i] = Detection{Raw: t.outSet, Assigned: kept, Stats: t.stats}
 	}
 
 	// Attach unclaimed vertices by neighbour majority (repeat until stable

@@ -15,6 +15,16 @@ import (
 // converged concentrates, after degree normalisation, on one side of the
 // sparsest cut around its source.
 func SweepCut(g *graph.Graph, p Dist) ([]int, float64, error) {
+	return SweepCutWithin(g, p, nil)
+}
+
+// SweepCutWithin is SweepCut restricted to candidate prefixes drawn from
+// the given (duplicate-free) vertex set; nil means all vertices. The
+// CONGEST engine sweeps only the nodes its BFS tree covers — the scores of
+// other vertices never reach the root — while conductances are still
+// measured against the whole graph (every candidate knows its own degree
+// and which neighbours were announced as members).
+func SweepCutWithin(g *graph.Graph, p Dist, within []int) ([]int, float64, error) {
 	n := g.NumVertices()
 	if len(p) != n {
 		return nil, 0, fmt.Errorf("rw: distribution has %d entries for %d vertices", len(p), n)
@@ -22,9 +32,18 @@ func SweepCut(g *graph.Graph, p Dist) ([]int, float64, error) {
 	if n < 2 || g.NumEdges() == 0 {
 		return nil, 0, fmt.Errorf("rw: sweep cut needs a graph with edges")
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	var order []int
+	if within == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		if len(within) < 2 {
+			return nil, 0, fmt.Errorf("rw: sweep cut needs at least 2 candidate vertices, got %d", len(within))
+		}
+		order = make([]int, len(within))
+		copy(order, within)
 	}
 	score := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -44,7 +63,8 @@ func SweepCut(g *graph.Graph, p Dist) ([]int, float64, error) {
 	totalVol := g.Volume()
 	bestPhi := math.Inf(1)
 	bestPrefix := 0
-	for i, v := range order[:n-1] { // prefix V would have no cut
+	// The degenerate full-graph prefix falls out via the denom guard below.
+	for i, v := range order {
 		in[v] = true
 		vol += g.Degree(v)
 		for _, w := range g.Neighbors(v) {
@@ -99,26 +119,25 @@ func EstimateConductance(g *graph.Graph, source, maxSteps int) (float64, error) 
 	if source < 0 || source >= n {
 		return 0, fmt.Errorf("rw: source %d out of range [0,%d): %w", source, n, graph.ErrVertexOutOfRange)
 	}
-	if maxSteps < 1 {
-		return 0, fmt.Errorf("rw: non-positive step budget %d", maxSteps)
+	if maxSteps < 2 {
+		return 0, fmt.Errorf("rw: step budget %d below 2, the first sweepable length", maxSteps)
 	}
 	if g.NumEdges() == 0 || n < 2 {
 		return 0, fmt.Errorf("rw: conductance undefined without edges")
 	}
-	p, err := NewPointDist(n, source)
-	if err != nil {
+	e := NewWalkEngine(g)
+	if err := e.Reset(source); err != nil {
 		return 0, err
 	}
-	next := make(Dist, n)
 	best := math.Inf(1)
 	for t := 1; t <= maxSteps; t++ {
-		p, next = Step(g, p, next), p
+		e.Step()
 		// Sweep only once the walk has spread beyond the immediate
 		// neighbourhood; very short prefixes give degenerate cuts.
 		if t < 2 {
 			continue
 		}
-		if _, phi, err := SweepCut(g, p); err == nil && phi < best {
+		if _, phi, err := SweepCut(g, e.Dist()); err == nil && phi < best {
 			best = phi
 		}
 	}

@@ -91,17 +91,16 @@ func Step(g *graph.Graph, d, next Dist) Dist {
 }
 
 // Walk evolves a point distribution from source for steps steps and returns
-// the final distribution.
+// the final distribution. It runs on the hybrid WalkEngine, so early steps
+// cost only the walk's support rather than O(n); callers stepping many walks
+// should hold a WalkEngine themselves to also amortise the allocations.
 func Walk(g *graph.Graph, source, steps int) (Dist, error) {
-	d, err := NewPointDist(g.NumVertices(), source)
-	if err != nil {
+	e := NewWalkEngine(g)
+	if err := e.Reset(source); err != nil {
 		return nil, err
 	}
-	next := make(Dist, len(d))
-	for i := 0; i < steps; i++ {
-		d, next = Step(g, d, next), d
-	}
-	return d, nil
+	e.Advance(steps)
+	return e.Dist().Clone(), nil
 }
 
 // Stationary returns the stationary distribution π(v) = d(v)/2m of the
@@ -155,16 +154,15 @@ func (d Dist) Restrict(set []int) Dist {
 // has not mixed after maxSteps (e.g. bipartite graphs never mix).
 func MixingTime(g *graph.Graph, source int, eps float64, maxSteps int) (int, error) {
 	pi := Stationary(g)
-	d, err := NewPointDist(g.NumVertices(), source)
-	if err != nil {
+	e := NewWalkEngine(g)
+	if err := e.Reset(source); err != nil {
 		return 0, err
 	}
-	next := make(Dist, len(d))
 	for t := 0; t <= maxSteps; t++ {
-		if d.L1(pi) < eps {
+		if e.Dist().L1(pi) < eps {
 			return t, nil
 		}
-		d, next = Step(g, d, next), d
+		e.Step()
 	}
 	return 0, fmt.Errorf("rw: walk from %d not %v-mixed after %d steps", source, eps, maxSteps)
 }

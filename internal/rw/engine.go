@@ -1,0 +1,388 @@
+package rw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cdrw/internal/graph"
+)
+
+// DenseSwitchFraction controls the hybrid engine's default regime switch: a
+// walk stays on the sparse-frontier kernel while its support holds fewer
+// than n/DenseSwitchFraction vertices and moves to the dense kernel past
+// that. The sparse kernel costs O(vol(support) + nnz·log nnz) per step, the
+// dense one O(n + vol(support)); at nnz ≈ n/8 the bookkeeping of the sparse
+// side stops paying for itself on the graphs the paper targets (average
+// degree Θ(log n)).
+const DenseSwitchFraction = 8
+
+// WalkEngine evolves the probability distribution of a simple random walk
+// with a hybrid sparse/dense kernel. While the walk's support is a small
+// ball around the source — the regime the paper's local-mixing analysis says
+// dominates Algorithm 1 — the engine touches only the frontier and its
+// neighbourhood; once the support passes the density threshold it switches
+// to the flat dense kernel (Step). Both kernels accumulate neighbour
+// contributions in ascending vertex order, so the evolved distribution is
+// bit-identical regardless of where the switch happens.
+//
+// A WalkEngine is not safe for concurrent use; Reset makes one engine
+// reusable across many walks without reallocating.
+type WalkEngine struct {
+	g         *graph.Graph
+	p, next   Dist
+	frontier  []int32  // support of p, ascending, valid while sparse
+	mark      []uint64 // bitmap of the support being built, all-zero between steps
+	sparse    bool
+	threshold int // support size at which the engine goes dense
+	steps     int
+}
+
+// NewWalkEngine returns an engine over g with the default density threshold
+// max(1, n/DenseSwitchFraction). The engine starts with no walk loaded; call
+// Reset before stepping.
+func NewWalkEngine(g *graph.Graph) *WalkEngine {
+	n := g.NumVertices()
+	threshold := n / DenseSwitchFraction
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &WalkEngine{
+		g:         g,
+		p:         make(Dist, n),
+		next:      make(Dist, n),
+		mark:      make([]uint64, (n+63)/64),
+		threshold: threshold,
+	}
+}
+
+// SetDenseThreshold overrides the support size at which the engine abandons
+// the sparse kernel. 0 forces the dense kernel from the first step (the
+// legacy behaviour, useful as a benchmark baseline); values > n keep the
+// sparse kernel for the walk's whole life.
+func (e *WalkEngine) SetDenseThreshold(nnz int) {
+	if nnz < 0 {
+		nnz = 0
+	}
+	e.threshold = nnz
+}
+
+// Reset loads a fresh point distribution at source (p₀ of Algorithm 1
+// line 7), reusing the engine's buffers.
+func (e *WalkEngine) Reset(source int) error {
+	n := e.g.NumVertices()
+	if source < 0 || source >= n {
+		return fmt.Errorf("rw: source %d out of range [0,%d): %w", source, n, graph.ErrVertexOutOfRange)
+	}
+	if e.sparse {
+		// Sparse invariant: p is non-zero only on the frontier and next is
+		// all zero, so clearing the frontier entries suffices.
+		for _, v := range e.frontier {
+			e.p[v] = 0
+		}
+	} else {
+		clear(e.p)
+		clear(e.next)
+	}
+	e.sparse = true
+	e.frontier = append(e.frontier[:0], int32(source))
+	e.p[source] = 1
+	e.steps = 0
+	return nil
+}
+
+// Dist returns the current distribution as a dense vector. The slice aliases
+// the engine's state: it is valid until the next Step or Reset and must not
+// be modified. Clone it to keep a snapshot.
+func (e *WalkEngine) Dist() Dist { return e.p }
+
+// Steps returns how many steps the walk has taken since the last Reset.
+func (e *WalkEngine) Steps() int { return e.steps }
+
+// SupportSize returns the number of vertices with non-zero probability while
+// the engine is sparse, and -1 once it has switched to the dense kernel (the
+// dense kernel does not track support).
+func (e *WalkEngine) SupportSize() int {
+	if !e.sparse {
+		return -1
+	}
+	return len(e.frontier)
+}
+
+// Sparse reports whether the engine is still on the sparse-frontier kernel.
+func (e *WalkEngine) Sparse() bool { return e.sparse }
+
+// Step advances the walk by one step of the simple random walk, picking the
+// kernel by the current support density.
+func (e *WalkEngine) Step() {
+	if e.maybeDensify(); e.sparse {
+		e.sparseStep()
+	} else {
+		e.denseStep()
+	}
+}
+
+// maybeDensify retires the frontier once the support reaches the threshold.
+// The transition is one-way: support can only shrink on pathological graphs,
+// and the dense kernel is correct regardless.
+func (e *WalkEngine) maybeDensify() {
+	if e.sparse && len(e.frontier) >= e.threshold {
+		e.sparse = false
+		e.frontier = e.frontier[:0]
+	}
+}
+
+func (e *WalkEngine) denseStep() {
+	e.p, e.next = Step(e.g, e.p, e.next), e.p
+	e.steps++
+}
+
+// sparseStep pushes mass from the frontier only: p'(w) = Σ_{v∈F∩N(w)}
+// p(v)/d(v). Frontier vertices are visited in ascending order, so each
+// target accumulates its contributions in exactly the order the dense kernel
+// uses. Shares that underflow to zero are skipped — adding +0 is the
+// identity, and skipping keeps the frontier free of zero-mass entries. The
+// touched vertices are recorded in a bitmap and the new frontier extracted
+// from it in one O(n/64 + nnz) scan, already sorted — cheaper than sorting
+// an append-order list even for small supports.
+func (e *WalkEngine) sparseStep() {
+	g := e.g
+	mark := e.mark
+	for _, vv := range e.frontier {
+		v := int(vv)
+		pv := e.p[v]
+		e.p[v] = 0
+		deg := g.Degree(v)
+		if deg == 0 {
+			mark[uint(v)>>6] |= 1 << (uint(v) & 63)
+			e.next[v] += pv
+			continue
+		}
+		share := pv / float64(deg)
+		if share == 0 {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			mark[uint(w)>>6] |= 1 << (uint(w) & 63)
+			e.next[w] += share
+		}
+	}
+	nf := e.frontier[:0]
+	for wi, word := range mark {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			nf = append(nf, int32(wi<<6+b))
+			word &^= 1 << uint(b)
+		}
+		mark[wi] = 0
+	}
+	e.frontier = nf
+	e.p, e.next = e.next, e.p
+	e.steps++
+}
+
+// Advance takes k steps.
+func (e *WalkEngine) Advance(k int) {
+	for i := 0; i < k; i++ {
+		e.Step()
+	}
+}
+
+// BatchWalkEngine advances many walks over the same graph in lockstep, each
+// walk on the hybrid sparse/dense kernel and bit-identical to a solo
+// WalkEngine. SetFused additionally moves dense walks into a shared
+// vertex-interleaved store — the K walk masses of a vertex sit side by side
+// on one cache line — advanced by a single fused pass over the CSR arrays
+// per step. Fusion trades per-walk write locality for K× fewer touched
+// cache lines per edge: on community-structured graphs (PPM/SBM), where a
+// solo walk's writes already stay inside one block's index range, the
+// default unfused stepping measures faster; on expander-like graphs at
+// scales where one walk's arrays outgrow the cache, the fused pass wins.
+type BatchWalkEngine struct {
+	g       *graph.Graph
+	walks   []*WalkEngine
+	halted  []bool
+	fused   bool
+	inBatch []bool    // walk's distribution lives in the interleaved store
+	pAll    []float64 // len K·n, row v holds the K walks' masses at v
+	nextAll []float64
+	cols    []int // scratch: interleaved columns advanced this step
+}
+
+// NewBatchWalkEngine returns a batch of point-source walks, one per source.
+// Duplicate sources are allowed (the walks evolve independently).
+func NewBatchWalkEngine(g *graph.Graph, sources []int) (*BatchWalkEngine, error) {
+	b := &BatchWalkEngine{
+		g:       g,
+		walks:   make([]*WalkEngine, len(sources)),
+		halted:  make([]bool, len(sources)),
+		inBatch: make([]bool, len(sources)),
+	}
+	for i, s := range sources {
+		e := NewWalkEngine(g)
+		if err := e.Reset(s); err != nil {
+			return nil, err
+		}
+		b.walks[i] = e
+	}
+	return b, nil
+}
+
+// Size returns the number of walks in the batch, halted or not.
+func (b *BatchWalkEngine) Size() int { return len(b.walks) }
+
+// Dist returns walk i's current distribution as a dense vector. Like
+// WalkEngine.Dist the result aliases engine storage — valid until the next
+// Step — and for a walk in the interleaved store it is materialised on each
+// call (an O(n) gather), so callers should read it once per step.
+func (b *BatchWalkEngine) Dist(i int) Dist {
+	if b.inBatch[i] {
+		b.materialize(i)
+	}
+	return b.walks[i].Dist()
+}
+
+// materialize gathers column i of the interleaved store into walk i's own
+// dense array (which is idle storage while the walk is batched).
+func (b *BatchWalkEngine) materialize(i int) {
+	k := len(b.walks)
+	p := b.walks[i].p
+	for v := range p {
+		p[v] = b.pAll[v*k+i]
+	}
+}
+
+// Engine returns walk i's underlying engine. While walk i is batched the
+// engine's own Dist is stale — go through BatchWalkEngine.Dist instead.
+func (b *BatchWalkEngine) Engine(i int) *WalkEngine { return b.walks[i] }
+
+// Halt removes walk i from subsequent steps, freezing its distribution at
+// the current state. Detection loops halt walks whose stop rule has fired.
+func (b *BatchWalkEngine) Halt(i int) {
+	if b.inBatch[i] {
+		b.materialize(i)
+		b.inBatch[i] = false
+	}
+	b.halted[i] = true
+}
+
+// Halted reports whether walk i has been halted.
+func (b *BatchWalkEngine) Halted(i int) bool { return b.halted[i] }
+
+// Active returns the number of walks still stepping.
+func (b *BatchWalkEngine) Active() int {
+	n := 0
+	for _, h := range b.halted {
+		if !h {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFused switches the dense walks between per-walk stepping (default) and
+// the fused interleaved pass. Turning fusion off mid-run materialises every
+// batched walk back into its own engine. Either way the walks' evolution is
+// bit-identical, so the toggle is purely a performance choice.
+func (b *BatchWalkEngine) SetFused(on bool) {
+	if !on {
+		for i := range b.walks {
+			if b.inBatch[i] {
+				b.materialize(i)
+				b.inBatch[i] = false
+			}
+		}
+	}
+	b.fused = on
+}
+
+// StepWalk advances walk i alone by one hybrid step. It is the concurrency
+// hook for unfused batches: distinct walks touch disjoint state, so callers
+// may step different walks from different goroutines (core.DetectParallel
+// overlaps each walk's step with its mixing-set sweep this way). It must
+// not be mixed with fused stepping — a walk living in the interleaved store
+// can only advance through Step.
+func (b *BatchWalkEngine) StepWalk(i int) {
+	if b.halted[i] {
+		return
+	}
+	if b.inBatch[i] {
+		panic("rw: StepWalk on a walk in the fused interleaved store")
+	}
+	b.walks[i].Step()
+}
+
+// Step advances every non-halted walk by one step.
+func (b *BatchWalkEngine) Step() {
+	b.cols = b.cols[:0]
+	for i, e := range b.walks {
+		if b.halted[i] {
+			continue
+		}
+		if b.inBatch[i] {
+			b.cols = append(b.cols, i)
+			continue
+		}
+		if e.maybeDensify(); e.sparse {
+			e.sparseStep()
+			continue
+		}
+		if b.fused {
+			b.join(i)
+			b.cols = append(b.cols, i)
+		} else {
+			e.denseStep()
+		}
+	}
+	if len(b.cols) > 0 {
+		b.fusedStep()
+	}
+}
+
+// join moves (already dense) walk i's distribution into the interleaved
+// store, allocated on first use.
+func (b *BatchWalkEngine) join(i int) {
+	k := len(b.walks)
+	n := b.g.NumVertices()
+	if b.pAll == nil {
+		b.pAll = make([]float64, k*n)
+		b.nextAll = make([]float64, k*n)
+	}
+	e := b.walks[i]
+	for v := 0; v < n; v++ {
+		b.pAll[v*k+i] = e.p[v]
+	}
+	b.inBatch[i] = true
+}
+
+// fusedStep is the dense kernel fused across the batched columns: one pass
+// over the CSR arrays advances them all. Per walk the accumulation order
+// matches Step exactly (sources in ascending order), so each column evolves
+// bit-identically to a solo dense walk.
+func (b *BatchWalkEngine) fusedStep() {
+	g := b.g
+	k := len(b.walks)
+	clear(b.nextAll)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(v)
+		row := b.pAll[v*k : v*k+k]
+		for _, j := range b.cols {
+			pv := row[j]
+			if pv == 0 {
+				continue
+			}
+			if len(ns) == 0 {
+				b.nextAll[v*k+j] += pv
+				continue
+			}
+			share := pv / float64(len(ns))
+			for _, w := range ns {
+				b.nextAll[int(w)*k+j] += share
+			}
+		}
+	}
+	b.pAll, b.nextAll = b.nextAll, b.pAll
+	for _, j := range b.cols {
+		b.walks[j].steps++
+	}
+}

@@ -20,16 +20,36 @@ const (
 	GrowthFactor = 1 + 1/(8*math.E)
 )
 
-// XValues computes the localised deviation statistic of Algorithm 1 line 13
-// for every vertex: x_u = |p(u) − d(u)/µ'(S)| where µ'(S) = (2m/n)·|S| is
-// the average volume of a size-|S| set. out must have length n and is
+// MuPrime returns µ'(S) = (2m/n)·|S|, the average volume of a size-|S|
+// vertex set — the normaliser of the x_u statistic (Algorithm 1 line 13).
+func MuPrime(g *graph.Graph, size int) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.Volume()) / float64(n) * float64(size)
+}
+
+// XValueAt returns the localised deviation statistic of Algorithm 1 line 13
+// for a single vertex: x_u = |p(u) − d(u)/µ'(S)| with muPrime = MuPrime(g,
+// size). On an edgeless graph (muPrime 0) d(u)/µ' is 0/0; the target then
+// falls back to uniform mass over the candidate size so the statistic stays
+// meaningful. The CONGEST engine computes the same statistic node-locally
+// through this function, so the two engines can never drift apart.
+func XValueAt(g *graph.Graph, p Dist, u, size int, muPrime float64) float64 {
+	if muPrime == 0 {
+		return math.Abs(p[u] - 1/float64(size))
+	}
+	return math.Abs(p[u] - float64(g.Degree(u))/muPrime)
+}
+
+// XValues computes x_u for every vertex. out must have length n and is
 // returned for convenience.
 func XValues(g *graph.Graph, p Dist, size int, out []float64) []float64 {
 	n := g.NumVertices()
-	muPrime := float64(g.Volume()) / float64(n) * float64(size)
+	muPrime := MuPrime(g, size)
 	if muPrime == 0 {
-		// Edgeless graph: d(u)/µ' is 0/0; treat the target as uniform mass
-		// over the candidate size so the statistic stays meaningful.
+		// Hoist the edgeless-graph branch of XValueAt out of the loop.
 		target := 1 / float64(size)
 		for u := 0; u < n; u++ {
 			out[u] = math.Abs(p[u] - target)

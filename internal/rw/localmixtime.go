@@ -31,14 +31,13 @@ func LocalMixingTime(g *graph.Graph, source int, beta float64, minSize, maxSteps
 	if target < 1 {
 		target = 1
 	}
-	p, err := NewPointDist(n, source)
-	if err != nil {
+	e := NewWalkEngine(g)
+	if err := e.Reset(source); err != nil {
 		return 0, MixingSet{}, err
 	}
-	next := make(Dist, n)
 	for t := 1; t <= maxSteps; t++ {
-		p, next = Step(g, p, next), p
-		ms, err := LargestMixingSet(g, p, minSize)
+		e.Step()
+		ms, err := LargestMixingSet(g, e.Dist(), minSize)
 		if err != nil {
 			return 0, MixingSet{}, err
 		}
