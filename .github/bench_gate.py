@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the sparse-regime walk/sweep benchmarks.
+
+Reads two `go test -bench` output files (base ref and head), takes the
+median across -count repetitions of every reported ns-valued metric
+(ns/op plus custom ns/step and ns/sweep), and fails if any benchmark whose
+name contains "Sparse" regressed by more than the threshold (default 20%).
+Benchmarks that exist only on one side are reported but never gate — new
+benchmarks have no baseline, and renamed ones should not wedge CI.
+
+Usage: bench_gate.py base.bench head.bench [threshold-percent]
+"""
+
+import collections
+import sys
+
+NS_UNITS = ("ns/op", "ns/step", "ns/sweep")
+
+
+def load(path):
+    metrics = collections.defaultdict(list)
+    with open(path) as fh:
+        for line in fh:
+            parts = line.split()
+            if not parts or not parts[0].startswith("Benchmark"):
+                continue
+            # BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
+            name = parts[0].rsplit("-", 1)[0]
+            for value, unit in zip(parts[1:], parts[2:]):
+                if unit in NS_UNITS:
+                    try:
+                        metrics[(name, unit)].append(float(value))
+                    except ValueError:
+                        pass
+    return metrics
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    base = load(sys.argv[1])
+    head = load(sys.argv[2])
+    threshold = float(sys.argv[3]) / 100 if len(sys.argv) > 3 else 0.20
+
+    failed = []
+    for key in sorted(head):
+        name, unit = key
+        if "Sparse" not in name:
+            continue
+        if key not in base:
+            print(f"{name} [{unit}]: new benchmark, no baseline — not gated")
+            continue
+        b, h = median(base[key]), median(head[key])
+        if b <= 0:
+            continue
+        delta = h / b - 1
+        status = "REGRESSION" if delta > threshold else "ok"
+        print(f"{name} [{unit}]: base {b:,.0f} head {h:,.0f} ({delta:+.1%}) {status}")
+        if delta > threshold:
+            failed.append(name)
+
+    if failed:
+        print(f"\nFAIL: sparse-regime regression > {threshold:.0%} in: {', '.join(sorted(set(failed)))}")
+        sys.exit(1)
+    print("\nsparse-regime benchmarks within the regression budget")
+
+
+if __name__ == "__main__":
+    main()

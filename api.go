@@ -93,17 +93,34 @@ type (
 	Dist = rw.Dist
 	// MixingSet is the outcome of a largest-mixing-set search.
 	MixingSet = rw.MixingSet
+	// MixOptions overrides the Algorithm 1 constants (threshold, ladder
+	// growth) for ablation studies; the zero value selects the paper's.
+	MixOptions = rw.MixOptions
 	// WalkEngine evolves a walk distribution with a hybrid sparse/dense
 	// kernel: a sparse frontier while the support is small, the flat dense
-	// kernel past the density threshold. The in-memory detection engines
-	// (Detect, DetectParallel) step on it; the CONGEST engine keeps its
-	// per-round flooding but shares the rw mixing-set and sweep-cut math.
+	// kernel past the density threshold. Its LargestMixingSet method runs
+	// the Algorithm 1 candidate-size sweep the same way — O(support) per
+	// ladder size off a degree-sorted index while the walk is sparse, the
+	// dense reference after the switch, bit-identical either way. The
+	// in-memory detection engines (Detect, DetectParallel) step and sweep
+	// on it; the CONGEST engine keeps its per-round flooding but shares
+	// the rw mixing-set and sweep-cut math.
 	WalkEngine = rw.WalkEngine
 	// BatchWalkEngine advances many walks in lockstep, each on the hybrid
-	// kernel; SetFused optionally merges the dense steps of the whole
-	// batch into one interleaved pass over the adjacency arrays.
+	// kernel, with a per-walk sparse-aware LargestMixingSet over one
+	// shared degree index; SetFused optionally merges the dense steps of
+	// the whole batch into one interleaved pass over the adjacency arrays.
 	BatchWalkEngine = rw.BatchWalkEngine
+	// MixSweeper runs largest-mixing-set searches over one graph with the
+	// sparse fast path exposed directly: pass the distribution's support
+	// (ascending) for O(support)-per-size sweeps, or nil for the dense
+	// reference. Not safe for concurrent use; sweepers of different walks
+	// may share a graph's index (see NewBatchWalkEngine).
+	MixSweeper = rw.Sweeper
 )
+
+// NewMixSweeper returns a sweeper over g with its own degree-sorted index.
+func NewMixSweeper(g *Graph) *MixSweeper { return rw.NewSweeper(g) }
 
 // Walk constants of Algorithm 1.
 const (
@@ -168,6 +185,10 @@ type (
 	Detection = core.Detection
 	// CommunityStats carries per-seed diagnostics.
 	CommunityStats = core.CommunityStats
+	// StepTiming is the per-step diagnostic record delivered to a
+	// WithStepObserver callback: support size, sweep mode (sparse vs
+	// dense), and step/sweep wall times.
+	StepTiming = core.StepTiming
 )
 
 // Detect runs the full CDRW pool loop on g.
@@ -200,6 +221,13 @@ var (
 	WithMixingThreshold = core.WithMixingThreshold
 	// WithGrowthFactor overrides the 1+1/8e ladder growth (ablations only).
 	WithGrowthFactor = core.WithGrowthFactor
+	// WithDenseSweep forces the O(n·ladder) dense reference sweep on every
+	// step (benchmark baseline; results are bit-identical to the default
+	// sparse-aware sweep).
+	WithDenseSweep = core.WithDenseSweep
+	// WithStepObserver streams per-step timing and sweep-mode diagnostics
+	// to a callback (must be goroutine-safe under DetectParallel).
+	WithStepObserver = core.WithStepObserver
 )
 
 // Distributed engines.

@@ -7,6 +7,7 @@ package cdrw_test
 
 import (
 	"io"
+	"math"
 	"testing"
 
 	"cdrw"
@@ -302,6 +303,131 @@ func BenchmarkLargestMixingSet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Sparse-regime sweep benchmarks ---
+//
+// CI's bench job gates these: any benchmark whose name contains "Sparse"
+// fails the job if its ns/step (or sec/op) regresses by more than 20%
+// against the base ref. The Dense twins are the O(n·ladder) reference the
+// speedup claims are measured against.
+
+// benchMinSize mirrors core's default initial candidate size R = ⌈log₂ n⌉.
+func benchMinSize(n int) int {
+	r := int(math.Ceil(math.Log2(float64(n + 1))))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// benchMixSweep measures one full candidate-size ladder sweep over a walk
+// distribution after 3 early steps — the sparse regime, where the support is
+// a small ball around the source. sparse=false runs the dense reference
+// sweep on the identical distribution; both report ns/sweep.
+func benchMixSweep(b *testing.B, n int, sparse bool) {
+	g := benchWalkGraph(b, n)
+	eng := cdrw.NewWalkEngine(g)
+	if err := eng.Reset(0); err != nil {
+		b.Fatal(err)
+	}
+	eng.Advance(3)
+	minSize := benchMinSize(n)
+	if _, err := eng.LargestMixingSet(minSize, cdrw.MixOptions{}); err != nil {
+		b.Fatal(err) // also warms the lazily built degree index
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if sparse {
+			_, err = eng.LargestMixingSet(minSize, cdrw.MixOptions{})
+		} else {
+			_, err = cdrw.LargestMixingSet(g, eng.Dist(), minSize)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sweep")
+}
+
+// BenchmarkMixSweepSparse100k: the sparse O(support)-per-size sweep, n=10⁵.
+func BenchmarkMixSweepSparse100k(b *testing.B) { benchMixSweep(b, 100_000, true) }
+
+// BenchmarkMixSweepDense100k: the dense O(n)-per-size reference, n=10⁵.
+func BenchmarkMixSweepDense100k(b *testing.B) { benchMixSweep(b, 100_000, false) }
+
+// BenchmarkMixSweepSparse1M: the sparse sweep at n=10⁶ (skipped with
+// -short; graph generation dominates setup).
+func BenchmarkMixSweepSparse1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	benchMixSweep(b, 1_000_000, true)
+}
+
+// BenchmarkMixSweepDense1M: the dense reference at n=10⁶ (skipped with
+// -short).
+func BenchmarkMixSweepDense1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	benchMixSweep(b, 1_000_000, false)
+}
+
+// benchDetectStep measures the full detection step — walk step plus whole
+// mixing-set ladder — over the first 3 lengths of a point-source walk,
+// reporting ns/step. This is the paper's Algorithm 1 inner loop; the
+// acceptance bar for the sparse sweep is ≥3× over the dense twin at n=10⁵.
+func benchDetectStep(b *testing.B, n int, sparse bool) {
+	g := benchWalkGraph(b, n)
+	eng := cdrw.NewWalkEngine(g)
+	minSize := benchMinSize(n)
+	if err := eng.Reset(0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.LargestMixingSet(minSize, cdrw.MixOptions{}); err != nil {
+		b.Fatal(err) // warm the degree index outside the timer
+	}
+	const steps = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := eng.Reset(i % n); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for s := 0; s < steps; s++ {
+			eng.Step()
+			var err error
+			if sparse {
+				_, err = eng.LargestMixingSet(minSize, cdrw.MixOptions{})
+			} else {
+				_, err = cdrw.LargestMixingSet(g, eng.Dist(), minSize)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+}
+
+// BenchmarkDetectStepSparse100k: hybrid step + sparse sweep, n=10⁵.
+func BenchmarkDetectStepSparse100k(b *testing.B) { benchDetectStep(b, 100_000, true) }
+
+// BenchmarkDetectStepDense100k: hybrid step + dense reference sweep, n=10⁵.
+func BenchmarkDetectStepDense100k(b *testing.B) { benchDetectStep(b, 100_000, false) }
+
+// BenchmarkDetectStepSparse1M: the full sparse detection step at n=10⁶
+// (skipped with -short).
+func BenchmarkDetectStepSparse1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	benchDetectStep(b, 1_000_000, true)
 }
 
 // BenchmarkDetectCommunity measures the end-to-end single-seed detection on

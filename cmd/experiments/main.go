@@ -8,10 +8,14 @@
 //	experiments -fig rounds       # Theorem 5: CONGEST complexity
 //	experiments -fig kmachine     # §III-B: k-machine scaling
 //	experiments -fig baselines    # §II: CDRW vs LPA vs averaging
+//	experiments -fig sweep        # per-step sweep mode (sparse/dense) + timing
 //	experiments -fig all          # everything except fig 1
 //
 // -quick shrinks graph sizes for a fast smoke run; the default sizes match
-// the paper's axes (fig 4b runs at n = 8192 and takes a while).
+// the paper's axes (fig 4b runs at n = 8192 and takes a while). -json emits
+// figures as JSON documents — the format benchmark tooling ingests, e.g. to
+// attribute per-step detection wins to the sweep mode reported by
+// `-fig sweep -json`.
 package main
 
 import (
@@ -42,14 +46,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var figs figList
-	fs.Var(&figs, "fig", "figure to regenerate: 1, 2, 3, 4a, 4b, rounds, kmachine, baselines, "+
+	fs.Var(&figs, "fig", "figure to regenerate: 1, 2, 3, 4a, 4b, rounds, kmachine, baselines, sweep, "+
 		"ablation-{threshold,growth,delta,patience}, ablations, all (repeatable)")
 	var (
-		quick  = fs.Bool("quick", false, "shrink graph sizes for a fast run")
-		trials = fs.Int("trials", 3, "independent samples per data point")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		tsv    = fs.Bool("tsv", false, "emit TSV instead of aligned tables")
-		output = fs.String("out", "", "write to a file instead of stdout")
+		quick   = fs.Bool("quick", false, "shrink graph sizes for a fast run")
+		trials  = fs.Int("trials", 3, "independent samples per data point")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		tsv     = fs.Bool("tsv", false, "emit TSV instead of aligned tables")
+		jsonOut = fs.Bool("json", false, "emit JSON documents instead of tables")
+		output  = fs.String("out", "", "write to a file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,15 +121,20 @@ func run(args []string, out io.Writer) error {
 			fig, err = experiments.AblationPatience(cfg)
 		case "localmix":
 			fig, err = experiments.LocalMixing(cfg)
+		case "sweep":
+			fig, err = experiments.SweepTrajectory(cfg)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
 		if err != nil {
 			return fmt.Errorf("fig %s: %w", name, err)
 		}
-		if *tsv {
+		switch {
+		case *jsonOut:
+			err = fig.WriteJSON(out)
+		case *tsv:
 			err = fig.WriteTSV(out)
-		} else {
+		default:
 			err = fig.WriteTable(out)
 		}
 		if err != nil {

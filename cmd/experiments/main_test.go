@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,44 @@ func TestRunOutputFile(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("output file empty")
+	}
+}
+
+func TestRunSweepTrajectoryJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "sweep", "-quick", "-trials", "1", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name   string `json:"name"`
+		Series []struct {
+			Label string    `json:"label"`
+			Y     []float64 `json:"y"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%.120s", err, out.String())
+	}
+	if doc.Name != "sweep" {
+		t.Fatalf("figure name %q", doc.Name)
+	}
+	labels := make(map[string]bool)
+	for _, s := range doc.Series {
+		labels[s.Label] = true
+		if len(s.Y) == 0 {
+			t.Fatalf("series %q empty", s.Label)
+		}
+	}
+	for _, want := range []string{"support", "sparse-sweep", "step-us", "sweep-us"} {
+		if !labels[want] {
+			t.Fatalf("missing series %q (got %v)", want, labels)
+		}
+	}
+	// A point-source walk's first step must have swept sparse.
+	for _, s := range doc.Series {
+		if s.Label == "sparse-sweep" && s.Y[0] != 1 {
+			t.Fatalf("first step not attributed to the sparse sweep: %v", s.Y)
+		}
 	}
 }
 

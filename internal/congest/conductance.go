@@ -15,7 +15,11 @@ import (
 // runs — restricted to the nodes the BFS tree covers, since only their
 // scores ever reach the root; depthLimit therefore genuinely narrows what
 // the estimate can see (negative = unbounded, covering the source's whole
-// component). The simulator accounts the communication: one flooding round
+// component). While the walk has not spread, almost every covered node has
+// score zero, and SweepCutWithin's sparse-aware ordering (rw.sweepSort)
+// comparison-sorts only the support — the zero bulk tie-breaks straight
+// into id order — so the early per-length sweeps cost O(n + support·log
+// support) here too, not O(n log n). The simulator accounts the communication: one flooding round
 // per step plus a convergecast (covered nodes ship their p(v)/d(v) scores to
 // the root) and a broadcast (the root announces the current best cut) per
 // sweep. The paper assumes Φ_G is "given as input, or ... computed using a

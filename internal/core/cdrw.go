@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
@@ -28,12 +29,14 @@ import (
 const DefaultDelta = 0.1
 
 type config struct {
-	delta    float64
-	minSize  int
-	maxLen   int
-	patience int
-	seed     uint64
-	mix      rw.MixOptions
+	delta      float64
+	minSize    int
+	maxLen     int
+	patience   int
+	seed       uint64
+	mix        rw.MixOptions
+	denseSweep bool
+	observer   func(StepTiming)
 }
 
 // Option customises a CDRW run.
@@ -82,6 +85,43 @@ func WithMixingThreshold(threshold float64) Option {
 // (ablation studies only; the default is the paper's constant).
 func WithGrowthFactor(growth float64) Option {
 	return func(c *config) { c.mix.Growth = growth }
+}
+
+// WithDenseSweep forces the reference O(n·ladder) dense mixing-set sweep on
+// every step instead of the sparse-aware engine sweep. The two produce
+// bit-identical communities; this option exists as a benchmark baseline and
+// a cross-check, exactly like WalkEngine.SetDenseThreshold(0) for the walk
+// kernel.
+func WithDenseSweep() Option {
+	return func(c *config) { c.denseSweep = true }
+}
+
+// StepTiming is one walk step's diagnostics as seen by a WithStepObserver
+// callback: which seed, which step, the support size (-1 once the engine's
+// dense kernel has taken over), whether the mixing-set sweep took the sparse
+// fast path, and the wall time of the step and of the sweep.
+type StepTiming struct {
+	// Seed is the walk's source vertex.
+	Seed int
+	// Step is the walk length after this step (1-based).
+	Step int
+	// Support is the walk's support size, or -1 in the dense regime.
+	Support int
+	// SparseSweep reports whether the mixing-set sweep ran its sparse
+	// O(support)-per-size path (false: the dense O(n)-per-size reference).
+	SparseSweep bool
+	// StepNS and SweepNS are the durations of the walk step and of the
+	// whole candidate-size sweep, in nanoseconds.
+	StepNS, SweepNS int64
+}
+
+// WithStepObserver registers fn to receive per-step timing and sweep-mode
+// diagnostics from every detection walk. DetectParallel invokes fn from one
+// goroutine per live walk, so fn must be safe for concurrent use. Timing is
+// only measured when an observer is installed; the default hot path takes
+// no clock readings.
+func WithStepObserver(fn func(StepTiming)) Option {
+	return func(c *config) { c.observer = fn }
 }
 
 func defaultConfig(n int) config {
@@ -256,6 +296,16 @@ func DetectCommunity(g *graph.Graph, s int, opts ...Option) ([]int, CommunitySta
 	return detectCommunity(g, rw.NewWalkEngine(g), s, &cfg)
 }
 
+// sweep runs one mixing-set search over the engine's current distribution:
+// the engine's hybrid sparse/dense sweep by default, or the dense reference
+// when WithDenseSweep was given. Both return bit-identical results.
+func (c *config) sweep(g *graph.Graph, eng *rw.WalkEngine) (rw.MixingSet, error) {
+	if c.denseSweep {
+		return rw.LargestMixingSetOpt(g, eng.Dist(), c.minSize, c.mix)
+	}
+	return eng.LargestMixingSet(c.minSize, c.mix)
+}
+
 // detectCommunity is the engine-level detection loop shared by
 // DetectCommunity and the Detect pool loop (which reuses one WalkEngine
 // across all its seeds instead of reallocating per seed).
@@ -265,10 +315,28 @@ func detectCommunity(g *graph.Graph, eng *rw.WalkEngine, s int, cfg *config) ([]
 	}
 	trk := newCommunityTracker(cfg, s)
 	for l := 1; l <= cfg.maxLen; l++ {
+		var t0 time.Time
+		if cfg.observer != nil {
+			t0 = time.Now()
+		}
 		eng.Step()
-		cur, err := rw.LargestMixingSetOpt(g, eng.Dist(), cfg.minSize, cfg.mix)
+		var t1 time.Time
+		if cfg.observer != nil {
+			t1 = time.Now()
+		}
+		cur, err := cfg.sweep(g, eng)
 		if err != nil {
 			return nil, trk.stats, err
+		}
+		if cfg.observer != nil {
+			cfg.observer(StepTiming{
+				Seed:        s,
+				Step:        l,
+				Support:     eng.SupportSize(),
+				SparseSweep: eng.Sparse() && !cfg.denseSweep,
+				StepNS:      t1.Sub(t0).Nanoseconds(),
+				SweepNS:     time.Since(t1).Nanoseconds(),
+			})
 		}
 		if trk.observe(l, cur) {
 			return trk.outSet, trk.stats, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
@@ -93,11 +94,36 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 			wg.Add(1)
 			go func(i, l int) {
 				defer wg.Done()
+				var t0 time.Time
+				if cfg.observer != nil {
+					t0 = time.Now()
+				}
 				batch.StepWalk(i)
-				cur, err := rw.LargestMixingSetOpt(g, batch.Dist(i), cfg.minSize, cfg.mix)
+				var t1 time.Time
+				if cfg.observer != nil {
+					t1 = time.Now()
+				}
+				var cur rw.MixingSet
+				var err error
+				if cfg.denseSweep {
+					cur, err = rw.LargestMixingSetOpt(g, batch.Dist(i), cfg.minSize, cfg.mix)
+				} else {
+					cur, err = batch.LargestMixingSet(i, cfg.minSize, cfg.mix)
+				}
 				if err != nil {
 					errs[i] = err
 					return
+				}
+				if cfg.observer != nil {
+					eng := batch.Engine(i)
+					cfg.observer(StepTiming{
+						Seed:        seeds[i],
+						Step:        l,
+						Support:     eng.SupportSize(),
+						SparseSweep: eng.Sparse() && !cfg.denseSweep,
+						StepNS:      t1.Sub(t0).Nanoseconds(),
+						SweepNS:     time.Since(t1).Nanoseconds(),
+					})
 				}
 				trackers[i].observe(l, cur)
 			}(i, l)

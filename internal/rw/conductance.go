@@ -55,7 +55,7 @@ func SweepCutWithin(g *graph.Graph, p Dist, within []int) ([]int, float64, error
 		score[v] = p[v] / float64(d)
 	}
 	// Sort descending by score, ascending id on ties.
-	quickselectDesc(score, order)
+	sweepSort(score, order)
 
 	in := make([]bool, n)
 	vol := 0
@@ -95,17 +95,50 @@ func SweepCutWithin(g *graph.Graph, p Dist, within []int) ([]int, float64, error
 	return set, bestPhi, nil
 }
 
-// quickselectDesc sorts order fully by descending score (ascending id on
-// ties). A full sort is fine here: SweepCut is called once per conductance
-// estimate, not inside the per-step ladder sweep.
-func quickselectDesc(score []float64, order []int) {
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if score[a] != score[b] {
-			return score[a] > score[b]
+// sweepSort orders the candidates by (score desc, id asc), equivalent to a
+// full comparison sort but sparse-aware: for a walk distribution only the
+// support has score > 0, so the zero-score bulk — every off-support vertex
+// with edges — needs no comparison sort at all, it just tie-breaks into
+// ascending id order. Only the support (and the normally tiny negative/
+// isolated tail) is comparison-sorted: O(n + support·log support) instead
+// of O(n log n) per sweep. Both the in-memory and the CONGEST conductance
+// estimators run their per-length sweeps through here, so they pick up the
+// sparse win automatically while the walk has not spread.
+func sweepSort(score []float64, order []int) {
+	pos := make([]int, 0, len(order))
+	zero := make([]int, 0, len(order))
+	var rest []int
+	zeroSorted := true
+	for _, v := range order {
+		switch {
+		case score[v] > 0:
+			pos = append(pos, v)
+		case score[v] == 0:
+			if len(zero) > 0 && v < zero[len(zero)-1] {
+				zeroSorted = false
+			}
+			zero = append(zero, v)
+		default:
+			rest = append(rest, v)
 		}
-		return a < b
-	})
+	}
+	desc := func(s []int) {
+		sort.Slice(s, func(i, j int) bool {
+			a, b := s[i], s[j]
+			if score[a] != score[b] {
+				return score[a] > score[b]
+			}
+			return a < b
+		})
+	}
+	desc(pos)
+	if !zeroSorted {
+		sort.Ints(zero)
+	}
+	desc(rest) // negative and −inf (isolated) scores, after every zero
+	n := copy(order, pos)
+	n += copy(order[n:], zero)
+	copy(order[n:], rest)
 }
 
 // EstimateConductance estimates the graph's sparsest-cut conductance around

@@ -35,6 +35,7 @@ type WalkEngine struct {
 	sparse    bool
 	threshold int // support size at which the engine goes dense
 	steps     int
+	sweeper   *Sweeper // lazily built; batch engines inject one sharing an index
 }
 
 // NewWalkEngine returns an engine over g with the default density threshold
@@ -187,6 +188,24 @@ func (e *WalkEngine) Advance(k int) {
 	}
 }
 
+// LargestMixingSet runs the Algorithm 1 candidate-size sweep on the walk's
+// current distribution, automatically using the sparse O(support)-per-size
+// sweep while the engine is on the sparse kernel (the support is exactly the
+// frontier) and the dense reference sweep after the switch. Results are
+// bit-identical to LargestMixingSetOpt(g, e.Dist(), minSize, opt) either
+// way. The zero MixOptions selects the paper's constants. The sweeper and
+// its degree index are built lazily on first use and reused across Reset.
+func (e *WalkEngine) LargestMixingSet(minSize int, opt MixOptions) (MixingSet, error) {
+	if e.sweeper == nil {
+		e.sweeper = NewSweeper(e.g)
+	}
+	var support []int32
+	if e.sparse {
+		support = e.frontier
+	}
+	return e.sweeper.LargestMixingSet(e.p, support, minSize, opt)
+}
+
 // BatchWalkEngine advances many walks over the same graph in lockstep, each
 // walk on the hybrid sparse/dense kernel and bit-identical to a solo
 // WalkEngine. SetFused additionally moves dense walks into a shared
@@ -217,14 +236,30 @@ func NewBatchWalkEngine(g *graph.Graph, sources []int) (*BatchWalkEngine, error)
 		halted:  make([]bool, len(sources)),
 		inBatch: make([]bool, len(sources)),
 	}
+	// One degree index serves every walk's sparse sweep: it is read-only
+	// after construction, so per-walk Sweepers sharing it can run from
+	// different goroutines (DetectParallel sweeps all walks concurrently).
+	idx := NewDegreeIndex(g)
 	for i, s := range sources {
 		e := NewWalkEngine(g)
+		e.sweeper = NewSweeperWithIndex(g, idx)
 		if err := e.Reset(s); err != nil {
 			return nil, err
 		}
 		b.walks[i] = e
 	}
 	return b, nil
+}
+
+// LargestMixingSet runs the candidate-size sweep for walk i on its current
+// distribution, sparse-aware like WalkEngine.LargestMixingSet. Like StepWalk
+// it touches only walk i's state plus shared read-only structures, so
+// callers may sweep distinct walks from distinct goroutines.
+func (b *BatchWalkEngine) LargestMixingSet(i, minSize int, opt MixOptions) (MixingSet, error) {
+	if b.inBatch[i] {
+		b.materialize(i)
+	}
+	return b.walks[i].LargestMixingSet(minSize, opt)
 }
 
 // Size returns the number of walks in the batch, halted or not.

@@ -32,10 +32,13 @@ func MuPrime(g *graph.Graph, size int) float64 {
 
 // XValueAt returns the localised deviation statistic of Algorithm 1 line 13
 // for a single vertex: x_u = |p(u) − d(u)/µ'(S)| with muPrime = MuPrime(g,
-// size). On an edgeless graph (muPrime 0) d(u)/µ' is 0/0; the target then
-// falls back to uniform mass over the candidate size so the statistic stays
-// meaningful. The CONGEST engine computes the same statistic node-locally
-// through this function, so the two engines can never drift apart.
+// size). Every sweep (dense, sparse, CONGEST node-local) must use this
+// exact division — substituting d·(1/µ') differs in the last ulp, and the
+// sweeps are required to be bit-identical to each other and stable across
+// releases (CONGEST's distributed binary search even counts rounds off
+// these values). On an edgeless graph (muPrime 0) d(u)/µ' is 0/0; the
+// target then falls back to uniform mass over the candidate size so the
+// statistic stays meaningful.
 func XValueAt(g *graph.Graph, p Dist, u, size int, muPrime float64) float64 {
 	if muPrime == 0 {
 		return math.Abs(p[u] - 1/float64(size))
@@ -66,7 +69,10 @@ func XValues(g *graph.Graph, p Dist, size int, out []float64) []float64 {
 // those values. Ties are broken by vertex id (smaller id first), which makes
 // the selection deterministic — the distributed implementation breaks ties
 // the same way, standing in for the paper's "add a very small random number
-// to each x_u" trick. The returned ids are sorted ascending.
+// to each x_u" trick. The returned ids are sorted ascending, and the sum is
+// accumulated in that ascending-id order, so it is a pure function of the
+// selected set rather than of quickselect's internal permutation (floating-
+// point addition does not commute across orders).
 func SmallestK(x []float64, k int) ([]int, float64) {
 	n := len(x)
 	if k <= 0 {
@@ -80,14 +86,13 @@ func SmallestK(x []float64, k int) ([]int, float64) {
 		idx[i] = i
 	}
 	quickselectK(x, idx, k)
-	sel := idx[:k]
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
 	sum := 0.0
-	for _, u := range sel {
+	for _, u := range out {
 		sum += x[u]
 	}
-	out := make([]int, k)
-	copy(out, sel)
-	sort.Ints(out)
 	return out, sum
 }
 
@@ -148,6 +153,48 @@ func quickselectK(x []float64, idx []int, k int) {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
+}
+
+// mixingSum is the canonical summation of the |S| smallest x_u values that
+// every sweep implementation shares: the on-support terms (vertices with
+// p(u) ≠ 0) are accumulated individually in ascending vertex order and the
+// off-support tail is folded in as one exact integer degree sum divided by
+// µ' (off-support vertices have the closed form x_u = d(u)/µ', so their sum
+// telescopes to Σd(u)/µ'; integer addition is associative where float
+// addition is not, which is what lets the sparse sweep use precomputed
+// prefix sums and still match the dense sweep bit for bit). On an edgeless
+// graph (µ' = 0) every off-support value is 1/|S| and the tail becomes
+// offCount/|S|.
+func mixingSum(onSum float64, offDeg int64, offCount int, muPrime float64, size int) float64 {
+	if offCount == 0 {
+		return onSum
+	}
+	if muPrime == 0 {
+		return onSum + float64(offCount)/float64(size)
+	}
+	return onSum + float64(offDeg)/muPrime
+}
+
+// denseSweepSize evaluates one candidate size of the ladder against the full
+// vertex set: x buffer of length n, returns the selected ids (ascending) and
+// the canonical mixing sum. This is the reference evaluation the sparse
+// sweep (Sweeper) is equivalence-tested against.
+func denseSweepSize(g *graph.Graph, p Dist, size int, x []float64) ([]int, float64) {
+	muPrime := MuPrime(g, size)
+	XValues(g, p, size, x)
+	sel, _ := SmallestK(x, size)
+	onSum := 0.0
+	var offDeg int64
+	offCount := 0
+	for _, u := range sel {
+		if p[u] != 0 {
+			onSum += x[u]
+		} else {
+			offDeg += int64(g.Degree(u))
+			offCount++
+		}
+	}
+	return sel, mixingSum(onSum, offDeg, offCount, muPrime, size)
 }
 
 // SizeLadder returns the candidate mixing-set sizes of the sweep: R,
@@ -238,7 +285,10 @@ func LargestMixingSet(g *graph.Graph, p Dist, minSize int) (MixingSet, error) {
 }
 
 // LargestMixingSetOpt is LargestMixingSet with the Algorithm 1 constants
-// overridable (ablation studies).
+// overridable (ablation studies). This is the dense reference sweep: every
+// ladder size costs O(n). Detection loops go through WalkEngine.
+// LargestMixingSet instead, which switches to the O(support)-per-size sparse
+// sweep (bit-identical to this one) while the walk's support is small.
 func LargestMixingSetOpt(g *graph.Graph, p Dist, minSize int, opt MixOptions) (MixingSet, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
@@ -250,8 +300,7 @@ func LargestMixingSetOpt(g *graph.Graph, p Dist, minSize int, opt MixOptions) (M
 	best := MixingSet{}
 	for _, size := range ladder {
 		best.SizesChecked++
-		XValues(g, p, size, x)
-		sel, sum := SmallestK(x, size)
+		sel, sum := denseSweepSize(g, p, size, x)
 		if sum < opt.Threshold {
 			best.Vertices = sel
 			best.Sum = sum
