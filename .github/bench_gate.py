@@ -1,24 +1,39 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the sparse-regime walk/sweep benchmarks.
+"""Benchmark gate for the sparse-regime walk/sweep benchmarks and the
+Detector reuse contract.
 
 Reads two `go test -bench` output files (base ref and head), takes the
-median across -count repetitions of every reported ns-valued metric
-(ns/op plus custom ns/step and ns/sweep), and fails if any benchmark whose
-name contains "Sparse" regressed by more than the threshold (default 20%).
-Benchmarks that exist only on one side are reported but never gate — new
-benchmarks have no baseline, and renamed ones should not wedge CI.
+median across -count repetitions of every reported metric (ns/op plus
+custom ns/step and ns/sweep, and allocs/op), and fails when:
 
-Usage: bench_gate.py base.bench head.bench [threshold-percent]
+  * any benchmark whose name contains "Sparse" or "DetectorReuse" regressed
+    in an ns-valued metric by more than the threshold (default 20%) against
+    the base ref, or
+  * BenchmarkDetectorReuse reports a non-zero allocs/op median in head —
+    the Detector's allocation-free repeat-run contract, gated absolutely
+    (no baseline needed).
+
+Pass "-" as the base file to skip the regression comparison and run only
+the absolute allocation gate. Benchmarks that exist only on one side are
+reported but never gate — new benchmarks have no baseline, and renamed
+ones should not wedge CI.
+
+Usage: bench_gate.py base.bench|- head.bench [threshold-percent]
 """
 
 import collections
 import sys
 
 NS_UNITS = ("ns/op", "ns/step", "ns/sweep")
+ALLOC_UNIT = "allocs/op"
+GATED_SUBSTRINGS = ("Sparse", "DetectorReuse")
+ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse",)
 
 
 def load(path):
     metrics = collections.defaultdict(list)
+    if path == "-":
+        return metrics
     with open(path) as fh:
         for line in fh:
             parts = line.split()
@@ -27,7 +42,7 @@ def load(path):
             # BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
             name = parts[0].rsplit("-", 1)[0]
             for value, unit in zip(parts[1:], parts[2:]):
-                if unit in NS_UNITS:
+                if unit in NS_UNITS or unit == ALLOC_UNIT:
                     try:
                         metrics[(name, unit)].append(float(value))
                     except ValueError:
@@ -51,9 +66,25 @@ def main():
     threshold = float(sys.argv[3]) / 100 if len(sys.argv) > 3 else 0.20
 
     failed = []
+
+    # Absolute gate: the Detector reuse benchmark must be allocation-free.
+    for name in ZERO_ALLOC_BENCHMARKS:
+        key = (name, ALLOC_UNIT)
+        if key not in head:
+            print(f"{name} [{ALLOC_UNIT}]: not found in head — not gated")
+            continue
+        allocs = median(head[key])
+        status = "REGRESSION" if allocs > 0 else "ok"
+        print(f"{name} [{ALLOC_UNIT}]: head {allocs:,.0f} (want 0) {status}")
+        if allocs > 0:
+            failed.append(name)
+
+    # Relative gate: ns-valued regressions against the base ref.
     for key in sorted(head):
         name, unit = key
-        if "Sparse" not in name:
+        if unit == ALLOC_UNIT or not any(s in name for s in GATED_SUBSTRINGS):
+            continue
+        if not base:
             continue
         if key not in base:
             print(f"{name} [{unit}]: new benchmark, no baseline — not gated")
@@ -68,9 +99,9 @@ def main():
             failed.append(name)
 
     if failed:
-        print(f"\nFAIL: sparse-regime regression > {threshold:.0%} in: {', '.join(sorted(set(failed)))}")
+        print(f"\nFAIL: benchmark gate tripped by: {', '.join(sorted(set(failed)))}")
         sys.exit(1)
-    print("\nsparse-regime benchmarks within the regression budget")
+    print("\nbenchmark gates within budget")
 
 
 if __name__ == "__main__":

@@ -7,20 +7,46 @@
 // converter, Label-Propagation and averaging-dynamics baselines, and the
 // evaluation metrics of the paper's §IV.
 //
+// The centre of the API is the reusable, context-aware Detector: one option
+// surface over the paper's three realisations of Algorithm 1 — the
+// sequential reference engine, the multi-seed parallel extension and the
+// CONGEST message-passing simulation — selected with WithEngine and
+// swappable without touching the call site.
+//
 // Quickstart:
 //
 //	ppm, _ := cdrw.NewPPM(cdrw.PPMConfig{N: 2048, R: 2, P: 0.02, Q: 0.0006}, cdrw.NewRNG(1))
-//	res, _ := cdrw.Detect(ppm.Graph, cdrw.WithDelta(ppm.Config.ExpectedConductance()))
-//	for _, det := range res.Detections {
+//	d, _ := cdrw.NewDetector(ppm.Graph,
+//		cdrw.WithDelta(ppm.Config.ExpectedConductance()),
+//		cdrw.WithEngine(cdrw.Reference), // or Parallel, or Congest
+//	)
+//	for det, err := range d.Stream(ctx) { // detections arrive as they freeze
+//		if err != nil {
+//			log.Fatal(err)
+//		}
 //		fmt.Println(len(det.Assigned))
 //	}
+//
+// A Detector is built once per graph and reused: engines, the degree-sorted
+// sweep index and all sweep scratch survive between calls, so repeated
+// single-seed serving (Detector.DetectCommunity) is allocation-free in
+// steady state. Detect/DetectCommunity honour context cancellation on every
+// engine — between pool iterations, walk steps, ladder sizes and simulated
+// CONGEST rounds.
+//
+// The pre-Detector entry points (Detect, DetectParallel, CongestDetect, …)
+// remain as thin wrappers over the same machinery and return byte-identical
+// results for fixed seeds; see PAPER.md's "Unified API" section for the
+// old-call → new-call migration table and the deprecation policy.
 //
 // The implementation subpackages live under internal/; this package
 // re-exports the stable surface.
 package cdrw
 
 import (
+	"context"
 	"io"
+	"iter"
 
 	"cdrw/internal/baseline"
 	"cdrw/internal/congest"
@@ -175,10 +201,25 @@ func EstimateConductance(g *Graph, source, maxSteps int) (float64, error) {
 // degree-normalised walk probability, with its conductance.
 func SweepCut(g *Graph, p Dist) ([]int, float64, error) { return rw.SweepCut(g, p) }
 
-// CDRW — the paper's algorithm (reference engine).
+// CDRW — the unified, context-aware Detector over the paper's three
+// engines, plus the legacy entry points as thin wrappers.
 type (
-	// Option customises a CDRW run.
+	// Detector is the reusable entry point to CDRW: build once per graph
+	// (NewDetector), select the backend with WithEngine, then Detect /
+	// DetectCommunity / Stream under a context. Engines, the degree index
+	// and sweep buffers are retained between calls, so repeat single-seed
+	// serving on one graph is allocation-free in steady state. Not safe for
+	// concurrent use; build one per goroutine.
+	Detector = core.Detector
+	// DetectorEngine names one of the three Algorithm 1 realisations.
+	DetectorEngine = core.Engine
+	// Option customises a CDRW run — one surface shared by NewDetector and
+	// every legacy entry point.
 	Option = core.Option
+	// DetectorSettings is the resolved option snapshot of a run: defaults
+	// filled in, with a stable Fingerprint() for experiment records and a
+	// lossless CongestConfig() translation.
+	DetectorSettings = core.Settings
 	// Result is the output of Detect.
 	Result = core.Result
 	// Detection is one pool iteration's outcome.
@@ -191,21 +232,76 @@ type (
 	StepTiming = core.StepTiming
 )
 
-// Detect runs the full CDRW pool loop on g.
+// The three engines of WithEngine.
+const (
+	// Reference is the sequential in-memory pool loop (the default).
+	Reference = core.EngineReference
+	// Parallel is the conclusion's multi-seed lockstep extension; set the
+	// community estimate with WithCommunityEstimate.
+	Parallel = core.EngineParallel
+	// Congest is the §III distributed simulation with round/message
+	// accounting.
+	Congest = core.EngineCongest
+)
+
+// NewDetector resolves opts over the defaults for g and returns a reusable
+// context-aware detector (engine defaults to Reference).
+func NewDetector(g *Graph, opts ...Option) (*Detector, error) {
+	return core.NewDetector(g, opts...)
+}
+
+// ParseEngine maps "reference" (alias "core"), "parallel" or "congest" to
+// its engine constant — the -engine flag of cmd/cdrw and cmd/experiments.
+func ParseEngine(name string) (DetectorEngine, error) { return core.ParseEngine(name) }
+
+// ResolveOptions returns the resolved settings opts produce on an n-vertex
+// graph, validating them exactly like NewDetector.
+func ResolveOptions(n int, opts ...Option) (DetectorSettings, error) {
+	return core.Resolve(n, opts...)
+}
+
+// Detect runs the full CDRW pool loop on g: a thin wrapper over NewDetector
+// + Detector.Detect with a background context, byte-identical to the
+// pre-Detector behaviour for fixed seeds.
 func Detect(g *Graph, opts ...Option) (*Result, error) { return core.Detect(g, opts...) }
 
-// DetectCommunity computes the community containing seed s.
+// DetectContext is Detect with cancellation: ctx is polled between pool
+// iterations, walk steps and ladder sizes on every engine.
+func DetectContext(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
+	return core.DetectContext(ctx, g, opts...)
+}
+
+// DetectCommunity computes the community containing seed s. Repeat callers
+// on one graph should hold a Detector instead, which reuses its engines and
+// buffers across calls.
 func DetectCommunity(g *Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
 	return core.DetectCommunity(g, s, opts...)
 }
 
+// DetectCommunityContext is DetectCommunity with cancellation.
+func DetectCommunityContext(ctx context.Context, g *Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
+	return core.DetectCommunityContext(ctx, g, s, opts...)
+}
+
 // DetectParallel detects r communities concurrently (the conclusion's
-// "find communities in parallel, assuming an estimate of r" extension).
+// "find communities in parallel, assuming an estimate of r" extension) — a
+// thin wrapper over NewDetector with the Parallel engine.
 func DetectParallel(g *Graph, r int, opts ...Option) (*Result, error) {
 	return core.DetectParallel(g, r, opts...)
 }
 
-// Re-exported CDRW options.
+// DetectParallelContext is DetectParallel with cancellation; the first
+// walker error (or the caller's cancellation) cancels the sibling walkers.
+func DetectParallelContext(ctx context.Context, g *Graph, r int, opts ...Option) (*Result, error) {
+	return core.DetectParallelContext(ctx, g, r, opts...)
+}
+
+// DetectionSeq is the iterator shape of Detector.Stream: detections arrive
+// with a nil error as their communities freeze; a run failure arrives as
+// one final (zero Detection, non-nil error) pair.
+type DetectionSeq = iter.Seq2[Detection, error]
+
+// Re-exported CDRW options — one surface for every engine and entry point.
 var (
 	// WithDelta sets the stop-rule slack δ (paper: the conductance Φ_G).
 	WithDelta = core.WithDelta
@@ -217,17 +313,46 @@ var (
 	WithPatience = core.WithPatience
 	// WithSeed fixes the pool-sampling seed.
 	WithSeed = core.WithSeed
+	// WithEngine selects the Detector backend (Reference, Parallel,
+	// Congest); the default is Reference.
+	WithEngine = core.WithEngine
+	// WithCommunityEstimate sets the Parallel engine's r estimate.
+	WithCommunityEstimate = core.WithCommunityEstimate
+	// WithCongestWorkers sets the CONGEST simulator's per-round node-local
+	// parallelism (in-memory engines ignore it).
+	WithCongestWorkers = core.WithCongestWorkers
+	// WithTreeDepthLimit bounds the CONGEST BFS tree depth (negative =
+	// unbounded; in-memory engines ignore it).
+	WithTreeDepthLimit = core.WithTreeDepthLimit
+	// WithCongest is the escape hatch to the full distributed knob set: the
+	// given CongestConfig is used verbatim by the Congest engine, overriding
+	// the translated shared options.
+	WithCongest = core.WithCongest
 	// WithMixingThreshold overrides the 1/2e bound (ablations only).
 	WithMixingThreshold = core.WithMixingThreshold
 	// WithGrowthFactor overrides the 1+1/8e ladder growth (ablations only).
 	WithGrowthFactor = core.WithGrowthFactor
 	// WithDenseSweep forces the O(n·ladder) dense reference sweep on every
 	// step (benchmark baseline; results are bit-identical to the default
-	// sparse-aware sweep).
+	// sparse-aware sweep). In-memory engines only.
 	WithDenseSweep = core.WithDenseSweep
 	// WithStepObserver streams per-step timing and sweep-mode diagnostics
-	// to a callback (must be goroutine-safe under DetectParallel).
+	// to a callback. Goroutine-safety contract: the Reference engine calls
+	// it from one goroutine, the Parallel engine from one goroutine per
+	// live walk — wrap with SynchronizedObserver (or make fn lock itself)
+	// before passing it to a Parallel run. In-memory engines only.
 	WithStepObserver = core.WithStepObserver
+	// WithDetectionObserver streams each Detection the moment its
+	// community freezes (pool emission on Reference/Congest, overlap
+	// resolution on Parallel). Always invoked sequentially; never needs
+	// internal locking.
+	WithDetectionObserver = core.WithDetectionObserver
+	// SynchronizedObserver wraps a step observer in a mutex so it is safe
+	// under the Parallel engine without hand-rolled locking.
+	SynchronizedObserver = core.SynchronizedObserver
+	// SynchronizedDetectionObserver is the same wrapper for detection
+	// observers shared across Detectors running in different goroutines.
+	SynchronizedDetectionObserver = core.SynchronizedDetectionObserver
 )
 
 // Distributed engines.
@@ -258,14 +383,30 @@ func NewCongestNetwork(g *Graph, workers int) *CongestNetwork {
 // n-vertex graph.
 func DefaultCongestConfig(n int) CongestConfig { return congest.DefaultConfig(n) }
 
-// CongestDetect runs distributed CDRW over the whole network.
+// CongestDetect runs distributed CDRW over the whole network. Prefer
+// NewDetector with WithEngine(Congest) for the unified surface; this
+// remains for callers that need the CONGEST-native result (per-detection
+// round/message metrics in one struct).
 func CongestDetect(nw *CongestNetwork, cfg CongestConfig) (*CongestResult, error) {
 	return congest.Detect(nw, cfg)
+}
+
+// CongestDetectContext is CongestDetect with cancellation, polled by the
+// round scheduler.
+func CongestDetectContext(ctx context.Context, nw *CongestNetwork, cfg CongestConfig) (*CongestResult, error) {
+	return congest.DetectContext(ctx, nw, cfg)
 }
 
 // CongestDetectCommunity runs distributed CDRW for one seed.
 func CongestDetectCommunity(nw *CongestNetwork, s int, cfg CongestConfig) ([]int, congest.CommunityStats, error) {
 	return congest.DetectCommunity(nw, s, cfg)
+}
+
+// CongestDetectCommunityContext is CongestDetectCommunity with
+// cancellation: a cancelled context unwinds the simulation within O(1)
+// rounds, mid-ladder or mid-binary-search.
+func CongestDetectCommunityContext(ctx context.Context, nw *CongestNetwork, s int, cfg CongestConfig) ([]int, congest.CommunityStats, error) {
+	return congest.DetectCommunityContext(ctx, nw, s, cfg)
 }
 
 // CongestEstimateConductance estimates the conductance around source inside
@@ -275,6 +416,12 @@ func CongestDetectCommunity(nw *CongestNetwork, s int, cfg CongestConfig) ([]int
 // CongestConfig.TreeDepthLimit (negative = unbounded).
 func CongestEstimateConductance(nw *CongestNetwork, source, maxSteps, depthLimit int) (float64, error) {
 	return congest.EstimateConductance(nw, source, maxSteps, depthLimit)
+}
+
+// CongestEstimateConductanceContext is CongestEstimateConductance with
+// cancellation, polled once per flooding step.
+func CongestEstimateConductanceContext(ctx context.Context, nw *CongestNetwork, source, maxSteps, depthLimit int) (float64, error) {
+	return congest.EstimateConductanceContext(ctx, nw, source, maxSteps, depthLimit)
 }
 
 // RandomVertexPartition assigns vertices uniformly to k machines (RVP).

@@ -2,6 +2,9 @@ package cdrw_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -44,6 +47,130 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(dot.String(), "graph") {
 		t.Fatal("DOT output malformed")
+	}
+}
+
+// TestPublicAPIWrapperEquivalence pins the api_redesign contract: the
+// pre-Detector entry points are thin wrappers over the unified Detector and
+// return byte-identical Results for fixed seeds, across all three engines.
+func TestPublicAPIWrapperEquivalence(t *testing.T) {
+	cfg := cdrw.PPMConfig{N: 256, R: 2, P: 2 * 7.0 / 128, Q: 0.1 / 128}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := cfg.ExpectedConductance()
+	ctx := context.Background()
+
+	// Reference engine: Detect wrapper vs Detector.Detect.
+	want, err := cdrw.Detect(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cdrw.NewDetector(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Detect wrapper differs from Detector (reference engine)")
+	}
+
+	// Parallel engine: DetectParallel wrapper vs Detector with
+	// WithEngine(Parallel)+WithCommunityEstimate.
+	wantPar, err := cdrw.DetectParallel(ppm.Graph, 2, cdrw.WithDelta(delta), cdrw.WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := cdrw.NewDetector(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(43),
+		cdrw.WithEngine(cdrw.Parallel), cdrw.WithCommunityEstimate(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPar, err := dp.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPar, wantPar) {
+		t.Fatal("DetectParallel wrapper differs from Detector (parallel engine)")
+	}
+
+	// Congest engine: CongestDetect wrapper vs Detector with
+	// WithEngine(Congest); communities and shared stats must agree.
+	nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
+	ccfg := cdrw.DefaultCongestConfig(ppm.Graph.NumVertices())
+	ccfg.Delta = delta
+	ccfg.Seed = 43
+	wantCong, err := cdrw.CongestDetect(nw, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cdrw.NewDetector(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(43),
+		cdrw.WithEngine(cdrw.Congest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCong, err := dc.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCong.Detections) != len(wantCong.Detections) {
+		t.Fatalf("congest: %d vs %d detections",
+			len(gotCong.Detections), len(wantCong.Detections))
+	}
+	for i := range gotCong.Detections {
+		g, w := gotCong.Detections[i], wantCong.Detections[i]
+		if !reflect.DeepEqual(g.Raw, w.Raw) || !reflect.DeepEqual(g.Assigned, w.Assigned) {
+			t.Fatalf("congest detection %d: communities differ", i)
+		}
+		if g.Stats.Seed != w.Stats.Seed || g.Stats.WalkLength != w.Stats.WalkLength ||
+			g.Stats.Stopped != w.Stats.Stopped || g.Stats.FinalSetSize != w.Stats.FinalSetSize {
+			t.Fatalf("congest detection %d: stats differ (%+v vs %+v)", i, g.Stats, w.Stats)
+		}
+	}
+	if m, ok := dc.CongestMetrics(); !ok || m.Rounds != wantCong.Metrics.Rounds {
+		t.Fatalf("detector congest metrics %+v (ok=%v), want %+v", m, ok, wantCong.Metrics)
+	}
+}
+
+// TestPublicAPIDetectorStreamAndCancel exercises the streaming iterator and
+// context cancellation through the public surface.
+func TestPublicAPIDetectorStreamAndCancel(t *testing.T) {
+	cfg := cdrw.PPMConfig{N: 256, R: 4, P: 0.2, Q: 0.002}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cdrw.NewDetector(ppm.Graph,
+		cdrw.WithDelta(cfg.ExpectedConductance()), cdrw.WithSeed(49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []cdrw.Detection
+	for det, err := range d.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, det)
+	}
+	if !reflect.DeepEqual(streamed, want.Detections) {
+		t.Fatal("streamed detections differ from Detect")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.Detect(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Detect returned %v", err)
+	}
+	if _, err := cdrw.DetectContext(ctx, ppm.Graph); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DetectContext returned %v", err)
 	}
 }
 

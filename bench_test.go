@@ -6,6 +6,7 @@
 package cdrw_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"testing"
@@ -428,6 +429,43 @@ func BenchmarkDetectStepSparse1M(b *testing.B) {
 		b.Skip("1M-vertex benchmark skipped in short mode")
 	}
 	benchDetectStep(b, 1_000_000, true)
+}
+
+// BenchmarkDetectorReuse measures repeat single-seed serving on one
+// long-lived Detector — the production pattern the unified API targets: one
+// graph, one Detector, a stream of community queries. The engines, degree
+// index, sweeper scratch and tracker buffers are retained between calls, so
+// steady state must run at 0 allocs/op (CI's bench gate enforces this). The
+// workload keeps detection on the sparse kernel by construction: separated
+// blocks of n/16 vertices (q = 0), far below the engine's n/8 dense switch,
+// with the default δ stopping the walk a step after its block mixes.
+func BenchmarkDetectorReuse(b *testing.B) {
+	const n = 10_000
+	const blocks = 16
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 20 / bs, Q: 0}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cdrw.NewDetector(ppm.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm: grow the retained buffers to their steady-state capacity.
+	for s := 0; s < n; s += n / blocks {
+		if _, _, err := d.DetectCommunity(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.DetectCommunity(ctx, (i*701)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDetectCommunity measures the end-to-end single-seed detection on

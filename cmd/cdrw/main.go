@@ -3,13 +3,17 @@
 // reports per-community statistics and the paper's F-score when ground
 // truth is available.
 //
-// Usage:
+// One driver serves all three engines through the unified Detector surface;
+// -engine swaps the backend without changing anything else:
 //
-//	cdrw -n 2048 -r 2 -p 0.02 -q 0.0006 [-engine core|congest] [-seed 1]
-//	cdrw -in graph.txt [-engine core|congest]
+//	cdrw -n 2048 -r 2 -p 0.02 -q 0.0006 [-engine reference|parallel|congest] [-seed 1]
+//	cdrw -in graph.txt [-engine reference]
+//
+// "core" is accepted as a legacy alias for "reference".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,15 +33,19 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cdrw", flag.ContinueOnError)
 	var (
 		n      = fs.Int("n", 2048, "number of vertices (generated graphs)")
-		r      = fs.Int("r", 2, "number of planted communities")
+		r      = fs.Int("r", 2, "number of planted communities (also the parallel engine's estimate)")
 		p      = fs.Float64("p", 0, "intra-community edge probability (default 2·log2(n/r)/(n/r))")
 		q      = fs.Float64("q", 0, "inter-community edge probability (default 0.1/(n/r))")
 		seed   = fs.Uint64("seed", 1, "random seed")
-		engine = fs.String("engine", "core", "detection engine: core (in-memory) or congest (message passing)")
+		engine = fs.String("engine", "reference", "detection engine: reference (in-memory, alias: core), parallel, or congest (message passing)")
 		input  = fs.String("in", "", "read an edge-list file instead of generating a PPM")
 		delta  = fs.Float64("delta", -1, "stop-rule slack δ (default: expected PPM conductance, or 0.1 for -in graphs)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := cdrw.ParseEngine(*engine)
+	if err != nil {
 		return err
 	}
 
@@ -84,18 +92,19 @@ func run(args []string, out io.Writer) error {
 		delta2 = *delta
 	}
 
-	switch *engine {
-	case "core":
-		return runCore(out, g, ppm, delta2, *seed)
-	case "congest":
-		return runCongest(out, g, ppm, delta2, *seed)
-	default:
-		return fmt.Errorf("unknown engine %q (want core or congest)", *engine)
+	opts := []cdrw.Option{
+		cdrw.WithEngine(eng),
+		cdrw.WithDelta(delta2),
+		cdrw.WithSeed(*seed + 1),
 	}
-}
-
-func runCore(out io.Writer, g *cdrw.Graph, ppm *cdrw.PPM, delta float64, seed uint64) error {
-	res, err := cdrw.Detect(g, cdrw.WithDelta(delta), cdrw.WithSeed(seed+1))
+	if eng == cdrw.Parallel {
+		opts = append(opts, cdrw.WithCommunityEstimate(*r))
+	}
+	d, err := cdrw.NewDetector(g, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := d.Detect(context.Background())
 	if err != nil {
 		return err
 	}
@@ -103,38 +112,10 @@ func runCore(out io.Writer, g *cdrw.Graph, ppm *cdrw.PPM, delta float64, seed ui
 		fmt.Fprintf(out, "community %d: seed=%d |raw|=%d |assigned|=%d walk=%d stopped=%v\n",
 			i, det.Stats.Seed, len(det.Raw), len(det.Assigned), det.Stats.WalkLength, det.Stats.Stopped)
 	}
+	if m, ok := d.CongestMetrics(); ok {
+		fmt.Fprintf(out, "total CONGEST cost: rounds=%d messages=%d\n", m.Rounds, m.Messages)
+	}
 	return reportFScore(out, ppm, res)
-}
-
-func runCongest(out io.Writer, g *cdrw.Graph, ppm *cdrw.PPM, delta float64, seed uint64) error {
-	nw := cdrw.NewCongestNetwork(g, 1)
-	cfg := cdrw.DefaultCongestConfig(g.NumVertices())
-	cfg.Delta = delta
-	cfg.Seed = seed + 1
-	res, err := cdrw.CongestDetect(nw, cfg)
-	if err != nil {
-		return err
-	}
-	for i, det := range res.Detections {
-		fmt.Fprintf(out, "community %d: seed=%d |raw|=%d |assigned|=%d rounds=%d messages=%d\n",
-			i, det.Stats.Seed, len(det.Raw), len(det.Assigned),
-			det.Stats.Metrics.Rounds, det.Stats.Metrics.Messages)
-	}
-	fmt.Fprintf(out, "total CONGEST cost: rounds=%d messages=%d\n", res.Metrics.Rounds, res.Metrics.Messages)
-	if ppm == nil {
-		return nil
-	}
-	truth := ppm.TruthCommunities()
-	var drs []cdrw.DetectionResult
-	for _, det := range res.Detections {
-		drs = append(drs, cdrw.DetectionResult{Detected: det.Raw, Truth: truth[ppm.Truth[det.Stats.Seed]]})
-	}
-	f, err := cdrw.TotalFScore(drs)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "F-score: %.4f\n", f)
-	return nil
 }
 
 func reportFScore(out io.Writer, ppm *cdrw.PPM, res *cdrw.Result) error {

@@ -28,6 +28,21 @@ func TestRunGeneratedCore(t *testing.T) {
 	}
 }
 
+func TestRunGeneratedParallel(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "256", "-r", "2", "-engine", "parallel", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "community 0:") {
+		t.Fatalf("missing community report: %s", s)
+	}
+	if !strings.Contains(s, "F-score:") {
+		t.Fatalf("missing F-score line: %s", s)
+	}
+}
+
 func TestRunGeneratedCongest(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-n", "128", "-r", "2", "-engine", "congest", "-seed", "3"}, &out)

@@ -12,10 +12,13 @@
 //	experiments -fig all          # everything except fig 1
 //
 // -quick shrinks graph sizes for a fast smoke run; the default sizes match
-// the paper's axes (fig 4b runs at n = 8192 and takes a while). -json emits
-// figures as JSON documents — the format benchmark tooling ingests, e.g. to
-// attribute per-step detection wins to the sweep mode reported by
-// `-fig sweep -json`.
+// the paper's axes (fig 4b runs at n = 8192 and takes a while). -engine
+// swaps the detection backend of the accuracy figures (reference, parallel
+// or congest) through the unified Detector surface. -json emits figures as
+// JSON documents — the format benchmark tooling ingests, e.g. to attribute
+// per-step detection wins to the sweep mode reported by `-fig sweep -json`;
+// every JSON record carries the engine name and the resolved option
+// fingerprint, so sweep runs from different engines stay distinguishable.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"cdrw"
 	"cdrw/internal/experiments"
 )
 
@@ -52,11 +56,16 @@ func run(args []string, out io.Writer) error {
 		quick   = fs.Bool("quick", false, "shrink graph sizes for a fast run")
 		trials  = fs.Int("trials", 3, "independent samples per data point")
 		seed    = fs.Uint64("seed", 1, "base random seed")
+		engine  = fs.String("engine", "reference", "detection engine for the accuracy figures: reference (alias: core), parallel, or congest")
 		tsv     = fs.Bool("tsv", false, "emit TSV instead of aligned tables")
 		jsonOut = fs.Bool("json", false, "emit JSON documents instead of tables")
 		output  = fs.String("out", "", "write to a file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := cdrw.ParseEngine(*engine)
+	if err != nil {
 		return err
 	}
 	if len(figs) == 0 {
@@ -70,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		out = f
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Engine: eng}
 
 	expand := map[string][]string{
 		"all":       {"2", "3", "4a", "4b", "rounds", "kmachine", "baselines", "localmix"},

@@ -2,9 +2,13 @@
 // random vertex partition and convert the CONGEST execution of CDRW into
 // k-machine rounds via the Conversion Theorem — showing the §III-B claim
 // that round complexity drops roughly quadratically in k on sparse graphs.
+// The converter's Run method scopes its observer to one ctx-aware runner,
+// so the conversion composes with cancellation like every other entry
+// point.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,10 +42,13 @@ func run() error {
 			return err
 		}
 		nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
-		nw.SetObserver(sim.Observer())
 		ccfg := cdrw.DefaultCongestConfig(2 * blockSize)
 		ccfg.Delta = cfg.ExpectedConductance()
-		if _, _, err := cdrw.CongestDetectCommunity(nw, 0, ccfg); err != nil {
+		err = sim.Run(context.Background(), nw, func(ctx context.Context) error {
+			_, _, err := cdrw.CongestDetectCommunityContext(ctx, nw, 0, ccfg)
+			return err
+		})
+		if err != nil {
 			return err
 		}
 		res := sim.Results()

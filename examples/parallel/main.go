@@ -1,10 +1,12 @@
 // Parallel detection: the extension sketched in the paper's conclusion —
 // given an estimate of r, detect all communities concurrently (one
-// goroutine per seed) instead of sequentially draining the pool, and
-// compare quality and wall-clock against the sequential loop.
+// goroutine per seed) instead of sequentially draining the pool. With the
+// unified Detector surface the two runs differ only in WithEngine; the
+// detection code below is engine-agnostic.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,20 +35,31 @@ func run() error {
 		return err
 	}
 	delta := cfg.ExpectedConductance()
+	ctx := context.Background()
 
-	start := time.Now()
-	seq, err := cdrw.Detect(ppm.Graph, cdrw.WithDelta(delta), cdrw.WithSeed(2))
+	detect := func(engine cdrw.DetectorEngine) (*cdrw.Result, time.Duration, error) {
+		d, err := cdrw.NewDetector(ppm.Graph,
+			cdrw.WithEngine(engine),
+			cdrw.WithCommunityEstimate(r), // used by the Parallel engine only
+			cdrw.WithDelta(delta),
+			cdrw.WithSeed(2),
+		)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := d.Detect(ctx)
+		return res, time.Since(start), err
+	}
+
+	seq, seqTime, err := detect(cdrw.Reference)
 	if err != nil {
 		return err
 	}
-	seqTime := time.Since(start)
-
-	start = time.Now()
-	par, err := cdrw.DetectParallel(ppm.Graph, r, cdrw.WithDelta(delta), cdrw.WithSeed(2))
+	par, parTime, err := detect(cdrw.Parallel)
 	if err != nil {
 		return err
 	}
-	parTime := time.Since(start)
 
 	n := ppm.Graph.NumVertices()
 	nmiSeq, err := cdrw.NMI(seq.Labels(n), ppm.Truth)

@@ -1,9 +1,13 @@
-// Quickstart: generate a two-community planted partition graph, run CDRW,
-// and score the result against the ground truth — the minimal end-to-end
-// use of the public API.
+// Quickstart: generate a two-community planted partition graph, run CDRW
+// through the unified Detector surface, and score the result against the
+// ground truth — the minimal end-to-end use of the public API. Detections
+// are consumed as a stream: each community arrives the moment the pool
+// loop freezes it, which is how a serving system would forward results
+// before the whole partition is done.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,8 +38,10 @@ func run() error {
 	fmt.Printf("generated PPM: n=%d m=%d expected block conductance=%.4f\n",
 		ppm.Graph.NumVertices(), ppm.Graph.NumEdges(), cfg.ExpectedConductance())
 
-	// Detect all communities. δ = Φ_G as Algorithm 1 prescribes.
-	res, err := cdrw.Detect(ppm.Graph,
+	// One Detector per graph; swap the backend with WithEngine without
+	// touching anything below. δ = Φ_G as Algorithm 1 prescribes.
+	d, err := cdrw.NewDetector(ppm.Graph,
+		cdrw.WithEngine(cdrw.Reference),
 		cdrw.WithDelta(cfg.ExpectedConductance()),
 		cdrw.WithSeed(7),
 	)
@@ -43,15 +49,21 @@ func run() error {
 		return err
 	}
 
-	// Score each detection against the ground-truth block of its seed.
+	// Stream detections as they freeze and score each against the
+	// ground-truth block of its seed.
 	truth := ppm.TruthCommunities()
 	var results []cdrw.DetectionResult
-	for i, det := range res.Detections {
+	i := 0
+	for det, err := range d.Stream(context.Background()) {
+		if err != nil {
+			return err
+		}
 		block := ppm.Truth[det.Stats.Seed]
 		f := cdrw.FScore(det.Raw, truth[block])
 		fmt.Printf("detection %d: seed=%d block=%d |community|=%d F=%.4f\n",
 			i, det.Stats.Seed, block, len(det.Raw), f)
 		results = append(results, cdrw.DetectionResult{Detected: det.Raw, Truth: truth[block]})
+		i++
 	}
 	total, err := cdrw.TotalFScore(results)
 	if err != nil {

@@ -1,15 +1,22 @@
 // SBM sweep: scan the (p, q) parameter grid of the paper's Figure 3 and
 // print how CDRW accuracy responds as the community structure blends away —
 // the workload the paper's introduction motivates (when is the planted
-// structure still recoverable?).
+// structure still recoverable?). The whole sweep runs through one
+// engine-agnostic helper on the unified Detector surface; point -engine at
+// cmd/cdrw or flip the constant below to rerun the grid on another backend.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"cdrw"
 )
+
+// engine backs every cell of the grid; Reference, Parallel and Congest all
+// work here unchanged.
+const engine = cdrw.Reference
 
 func main() {
 	if err := run(); err != nil {
@@ -21,6 +28,7 @@ func run() error {
 	const blockSize = 512
 	const lg = 9.0 // log₂(512)
 	s := float64(blockSize)
+	ctx := context.Background()
 
 	ps := []struct {
 		label string
@@ -46,10 +54,16 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			res, err := cdrw.Detect(ppm.Graph,
+			d, err := cdrw.NewDetector(ppm.Graph,
+				cdrw.WithEngine(engine),
+				cdrw.WithCommunityEstimate(cfg.R),
 				cdrw.WithDelta(cfg.ExpectedConductance()),
 				cdrw.WithSeed(13),
 			)
+			if err != nil {
+				return err
+			}
+			res, err := d.Detect(ctx)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,7 +11,9 @@ import (
 )
 
 // Config parameterises a distributed CDRW run. The zero value is not valid;
-// start from DefaultConfig.
+// start from DefaultConfig. Every knob of the unified Detector option set
+// (internal/core) translates losslessly into this struct; core.Settings.
+// CongestConfig performs that translation.
 type Config struct {
 	// Delta is the stop-rule slack δ (paper: the graph conductance Φ_G).
 	Delta float64
@@ -30,6 +33,27 @@ type Config struct {
 	// which covers the graph when it is connected with logarithmic
 	// diameter (true for the PPM regime p = Ω(log n / n)).
 	TreeDepthLimit int
+	// MixingThreshold overrides the 1/2e mixing-condition bound; values
+	// ≤ 0 select the paper's constant (ablations only, mirrors the core
+	// engine's WithMixingThreshold).
+	MixingThreshold float64
+	// GrowthFactor overrides the 1+1/8e candidate-size ladder growth;
+	// values ≤ 1 select the paper's constant.
+	GrowthFactor float64
+}
+
+// mixResolved returns the effective mixing threshold and ladder growth,
+// falling back to the paper's constants exactly like rw.MixOptions does.
+func (c Config) mixResolved() (threshold, growth float64) {
+	threshold = c.MixingThreshold
+	if threshold <= 0 {
+		threshold = rw.MixingThreshold
+	}
+	growth = c.GrowthFactor
+	if growth <= 1 {
+		growth = rw.GrowthFactor
+	}
+	return threshold, growth
 }
 
 // DefaultConfig mirrors internal/core's defaults so that the two engines
@@ -67,6 +91,9 @@ type CommunityStats struct {
 	WalkLength   int
 	Stopped      bool
 	FinalSetSize int
+	// SizesChecked counts ladder entries evaluated, matching the reference
+	// engine's accounting (both engines sweep the whole ladder per step).
+	SizesChecked int
 	TreeDepth    int
 	Metrics      Metrics // rounds/messages consumed by this community
 }
@@ -77,12 +104,30 @@ type CommunityStats struct {
 // and stop when the set size stalls. It returns the community (sorted) and
 // cost statistics.
 func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, error) {
+	return DetectCommunityContext(context.Background(), nw, s, cfg)
+}
+
+// DetectCommunityContext is DetectCommunity with cancellation: the network's
+// round scheduler polls ctx, so a cancelled or expired context unwinds the
+// run within O(1) rounds (mid-ladder, mid-binary-search) and returns
+// ctx.Err(). Rounds simulated before the cancellation remain accounted in
+// the network's metrics.
+func DetectCommunityContext(ctx context.Context, nw *Network, s int, cfg Config) ([]int, CommunityStats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, CommunityStats{}, err
 	}
 	if err := nw.checkVertex(s); err != nil {
 		return nil, CommunityStats{}, err
 	}
+	nw.setContext(ctx)
+	defer nw.setContext(nil)
+	return detectCommunity(nw, s, cfg)
+}
+
+// detectCommunity is the engine loop behind DetectCommunityContext; the
+// caller has validated inputs and installed the run context. Detect's pool
+// loop calls it directly so one setContext spans the whole pool run.
+func detectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, error) {
 	g := nw.Graph()
 	n := g.NumVertices()
 	startMetrics := nw.Metrics()
@@ -110,12 +155,17 @@ func DetectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 		return out, stats, nil
 	}
 
-	ladder := rw.SizeLadder(cfg.MinCommunitySize, n)
+	threshold, growth := cfg.mixResolved()
+	ladder := rw.SizeLadderWithGrowth(cfg.MinCommunitySize, n, growth)
 	for l := 1; l <= cfg.MaxWalkLength; l++ {
 		stats.WalkLength = l
 		ws.flood(nw)
 
-		curSet := nw.largestMixingSet(tree, covered, ws.p, x, ladder)
+		curSet, err := nw.largestMixingSet(tree, covered, ws.p, x, ladder, threshold)
+		if err != nil {
+			return nil, stats, fmt.Errorf("congest: walk length %d: %w", l, err)
+		}
+		stats.SizesChecked += len(ladder)
 		if prevSet != nil && curSet != nil {
 			grown := float64(len(curSet)) >= (1+cfg.Delta)*float64(len(prevSet))
 			if !grown {
@@ -201,8 +251,9 @@ func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
 // The per-node x_u computation is rw.XValueAt — the exact function the
 // reference engine sweeps with — so the two engines share one definition of
 // the statistic; this simulator only owns the tree selection and the
-// round/message accounting around it.
-func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []float64, ladder []int) []int {
+// round/message accounting around it. A cancelled run context aborts the
+// sweep between ladder sizes with the context's error.
+func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []float64, ladder []int, mixThreshold float64) ([]int, error) {
 	g := nw.Graph()
 	n := g.NumVertices()
 	var (
@@ -212,20 +263,26 @@ func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []
 		bestX         = math.NaN() // µ' of winning size, for re-deriving x
 	)
 	for _, size := range ladder {
+		if err := nw.interrupted(); err != nil {
+			return nil, err
+		}
 		muPrime := rw.MuPrime(g, size)
 		nw.parallelFor(n, func(u int) {
 			x[u] = rw.XValueAt(g, p, u, size, muPrime)
 		})
 		threshold, sum, ok := nw.selectKSmallest(tree, covered, x, size)
-		if ok && sum < rw.MixingThreshold {
+		if ok && sum < mixThreshold {
 			bestThreshold = threshold
 			bestSize = size
 			bestX = muPrime
 			found = true
 		}
 	}
+	if err := nw.interrupted(); err != nil {
+		return nil, err
+	}
 	if !found {
-		return nil
+		return nil, nil
 	}
 	// Materialise membership: the root broadcasts the winning (size,
 	// threshold); every covered node recomputes its x for that size and
@@ -238,7 +295,7 @@ func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []
 			set = append(set, int(v))
 		}
 	}
-	return set
+	return set, nil
 }
 
 // withSeed inserts s into the sorted set if missing (the paper's community
@@ -283,9 +340,18 @@ func (r *Result) Partition() [][]int {
 // Seed sampling matches internal/core.Detect exactly, so on a connected
 // graph the two engines emit identical communities.
 func Detect(nw *Network, cfg Config) (*Result, error) {
+	return DetectContext(context.Background(), nw, cfg)
+}
+
+// DetectContext is Detect with cancellation: ctx is polled by the round
+// scheduler and between pool iterations, so a cancelled caller gets
+// ctx.Err() back without waiting for the pool to drain.
+func DetectContext(ctx context.Context, nw *Network, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	nw.setContext(ctx)
+	defer nw.setContext(nil)
 	n := nw.Graph().NumVertices()
 	r := rng.New(cfg.Seed)
 	assigned := make([]bool, n)
@@ -296,8 +362,11 @@ func Detect(nw *Network, cfg Config) (*Result, error) {
 	res := &Result{}
 	before := nw.Metrics()
 	for len(pool) > 0 {
+		if err := nw.interrupted(); err != nil {
+			return nil, fmt.Errorf("congest: %w", err)
+		}
 		s := pool[r.Intn(len(pool))]
-		community, stats, err := DetectCommunity(nw, s, cfg)
+		community, stats, err := detectCommunity(nw, s, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("congest: community of seed %d: %w", s, err)
 		}

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,14 @@ import (
 // distributed algorithm"; this provides such an estimate in-model so
 // Config.Delta can be derived without ground truth.
 func EstimateConductance(nw *Network, source, maxSteps, depthLimit int) (float64, error) {
+	return EstimateConductanceContext(context.Background(), nw, source, maxSteps, depthLimit)
+}
+
+// EstimateConductanceContext is EstimateConductance with cancellation,
+// polled once per flooding step like the detection loops.
+func EstimateConductanceContext(ctx context.Context, nw *Network, source, maxSteps, depthLimit int) (float64, error) {
+	nw.setContext(ctx)
+	defer nw.setContext(nil)
 	if err := nw.checkVertex(source); err != nil {
 		return 0, err
 	}
@@ -50,6 +59,9 @@ func EstimateConductance(nw *Network, source, maxSteps, depthLimit int) (float64
 
 	best := math.Inf(1)
 	for t := 1; t <= maxSteps; t++ {
+		if err := nw.interrupted(); err != nil {
+			return 0, err
+		}
 		ws.flood(nw)
 		if t < 2 {
 			continue

@@ -1,0 +1,92 @@
+// Cross-engine equivalence tests live in an external test package: the core
+// package imports congest (the unified Detector dispatches to it), so an
+// internal congest test importing core would form a test-only import cycle.
+package congest_test
+
+import (
+	"testing"
+
+	"cdrw/internal/congest"
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+)
+
+func TestDetectCommunityMatchesCore(t *testing.T) {
+	// The distributed engine must produce exactly the same community as the
+	// in-memory reference on a connected graph.
+	cfgGen := gen.PPMConfig{N: 512, R: 2, P: 2 * gen.Log2(256) / 256, Q: 0.1 / 256}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ppm.Graph.IsConnected() {
+		t.Skip("sample disconnected; equivalence only defined on connected graphs")
+	}
+	delta := cfgGen.ExpectedConductance()
+	for _, seed := range []int{0, 77, 300, 511} {
+		want, _, err := core.DetectCommunity(ppm.Graph, seed, core.WithDelta(delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := congest.NewNetwork(ppm.Graph, 1)
+		cfg := congest.DefaultConfig(512)
+		cfg.Delta = delta
+		got, stats, err := congest.DetectCommunity(nw, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: congest |C|=%d, core |C|=%d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: sets differ at position %d", seed, i)
+			}
+		}
+		if stats.Metrics.Rounds <= 0 || stats.Metrics.Messages <= 0 {
+			t.Fatalf("seed %d: no cost recorded: %+v", seed, stats.Metrics)
+		}
+	}
+}
+
+func TestDetectMatchesCore(t *testing.T) {
+	cfgGen := gen.PPMConfig{N: 256, R: 2, P: 2 * gen.Log2(128) / 128, Q: 0.1 / 128}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ppm.Graph.IsConnected() {
+		t.Skip("sample disconnected")
+	}
+	delta := cfgGen.ExpectedConductance()
+	want, err := core.Detect(ppm.Graph, core.WithDelta(delta), core.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := congest.NewNetwork(ppm.Graph, 1)
+	cfg := congest.DefaultConfig(256)
+	cfg.Delta = delta
+	cfg.Seed = 5
+	got, err := congest.Detect(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Detections) != len(want.Detections) {
+		t.Fatalf("congest made %d detections, core %d", len(got.Detections), len(want.Detections))
+	}
+	for i := range got.Detections {
+		a, b := got.Detections[i].Raw, want.Detections[i].Raw
+		if len(a) != len(b) {
+			t.Fatalf("detection %d sizes: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("detection %d differs at %d", i, j)
+			}
+		}
+	}
+	if got.Metrics.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}

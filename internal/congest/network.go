@@ -13,6 +13,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -51,6 +52,13 @@ type Network struct {
 	observer RoundObserver
 	workers  int
 	buf      []Traffic
+
+	// ctx is the run context installed by the context-aware entry points
+	// (DetectContext and friends); the round scheduler polls it so a
+	// cancelled caller stops burning simulated rounds. ctxErr caches the
+	// first observed context error for the duration of the run.
+	ctx    context.Context
+	ctxErr error
 }
 
 // NewNetwork returns a CONGEST network over g. workers controls how many
@@ -69,6 +77,33 @@ func NewNetwork(g *graph.Graph, workers int) *Network {
 // intended for the k-machine conversion.
 func (nw *Network) SetObserver(obs RoundObserver) { nw.observer = obs }
 
+// Observer returns the currently installed per-round observer (nil if none),
+// so scoped installers (kmachine.Simulator.Run) can restore it afterwards.
+func (nw *Network) Observer() RoundObserver { return nw.observer }
+
+// setContext installs the run context for the duration of one context-aware
+// entry point. Passing nil clears it.
+func (nw *Network) setContext(ctx context.Context) {
+	if ctx == context.Background() {
+		ctx = nil // nothing to poll; keep the scheduler check free
+	}
+	nw.ctx = ctx
+	nw.ctxErr = nil
+}
+
+// interrupted reports the run context's error, caching the first one seen.
+// The round scheduler and the per-size selection loops poll it so that
+// cancellation lands within O(1) rounds rather than at the next walk step.
+func (nw *Network) interrupted() error {
+	if nw.ctxErr != nil {
+		return nw.ctxErr
+	}
+	if nw.ctx != nil {
+		nw.ctxErr = nw.ctx.Err()
+	}
+	return nw.ctxErr
+}
+
 // Graph returns the underlying input graph.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
 
@@ -78,8 +113,12 @@ func (nw *Network) Metrics() Metrics { return nw.metrics }
 // ResetMetrics zeroes the accumulated counts.
 func (nw *Network) ResetMetrics() { nw.metrics = Metrics{} }
 
-// beginRound opens a new communication round and returns its index.
+// beginRound opens a new communication round and returns its index. It also
+// polls the run context: rounds already in flight complete (their cost is
+// accounted), but the detection loops check interrupted() between rounds and
+// unwind before scheduling more.
 func (nw *Network) beginRound() int {
+	nw.interrupted()
 	nw.metrics.Rounds++
 	if nw.observer != nil {
 		nw.buf = nw.buf[:0]

@@ -102,8 +102,12 @@ func (nw *Network) selectKSmallest(t *Tree, covered []int32, x []float64, k int)
 	}
 	// Iterate: broadcast mid, convergecast the aggregate, shrink the
 	// bracket towards the k-th smallest key. The invariant is
-	// count(≤ lo) ≤ k ≤ count(≤ hi).
+	// count(≤ lo) ≤ k ≤ count(≤ hi). A cancelled run context abandons the
+	// search; the caller sees the context error via Network.interrupted.
 	for iter := 0; iter < 256; iter++ {
+		if nw.interrupted() != nil {
+			return key{}, 0, false
+		}
 		if lo == hi {
 			nw.Broadcast(t)
 			nw.Convergecast(t)

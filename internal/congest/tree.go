@@ -66,6 +66,9 @@ func (nw *Network) BuildTree(root, depthLimit int) (*Tree, error) {
 
 	frontier := []int{root}
 	for d := 0; len(frontier) > 0; d++ {
+		if err := nw.interrupted(); err != nil {
+			return nil, err
+		}
 		if depthLimit >= 0 && d >= depthLimit {
 			break
 		}

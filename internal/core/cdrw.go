@@ -10,13 +10,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"cdrw/internal/congest"
 	"cdrw/internal/graph"
-	"cdrw/internal/rng"
 	"cdrw/internal/rw"
 )
 
@@ -37,6 +38,14 @@ type config struct {
 	mix        rw.MixOptions
 	denseSweep bool
 	observer   func(StepTiming)
+
+	// Unified-surface fields (see options.go).
+	engine      Engine
+	communities int             // parallel engine's r estimate (0 = unset)
+	workers     int             // congest per-round parallelism
+	treeDepth   int             // congest BFS depth limit (negative = unbounded)
+	congest     *congest.Config // WithCongest escape hatch, used verbatim
+	detObs      func(Detection) // WithDetectionObserver streaming callback
 }
 
 // Option customises a CDRW run.
@@ -130,11 +139,14 @@ func defaultConfig(n int) config {
 		logN = 1
 	}
 	return config{
-		delta:    DefaultDelta,
-		minSize:  logN,
-		maxLen:   4*logN + 4,
-		patience: 1,
-		seed:     1,
+		delta:     DefaultDelta,
+		minSize:   logN,
+		maxLen:    4*logN + 4,
+		patience:  1,
+		seed:      1,
+		engine:    EngineReference,
+		workers:   1,
+		treeDepth: -1,
 	}
 }
 
@@ -194,13 +206,28 @@ func (r *Result) Labels(n int) []int {
 	return labels
 }
 
-func (c *config) validate() error {
+func (c *config) validate(n int) error {
 	if c.delta < 0 {
 		return fmt.Errorf("core: negative delta %v", c.delta)
 	}
 	if c.minSize < 1 || c.maxLen < 1 || c.patience < 1 {
 		return fmt.Errorf("core: options must be positive (minSize=%d maxLen=%d patience=%d)",
 			c.minSize, c.maxLen, c.patience)
+	}
+	switch c.engine {
+	case EngineReference, EngineCongest:
+	case EngineParallel:
+		if c.communities < 1 {
+			return fmt.Errorf("core: community estimate r=%d must be positive", c.communities)
+		}
+		if c.communities > n {
+			return fmt.Errorf("core: r=%d exceeds vertex count %d", c.communities, n)
+		}
+	default:
+		return fmt.Errorf("core: unknown engine %v", c.engine)
+	}
+	if c.workers < 1 {
+		return fmt.Errorf("core: congest workers %d must be positive", c.workers)
 	}
 	return nil
 }
@@ -209,17 +236,39 @@ func (c *config) validate() error {
 // stream of per-length mixing sets of one seed's walk. It is the single
 // home of the stop logic: DetectCommunity feeds it from a solo WalkEngine
 // and DetectParallel from a BatchWalkEngine, so the two paths cannot drift.
+//
+// The tracker copies every mixing set it retains into its own reused
+// buffers. That decouples it from the sweeper's scratch storage (whose
+// Vertices alias is only valid until the next sweep) and is what lets a
+// reusable Detector run detection after detection without allocating: reset
+// rewinds the buffers instead of dropping them.
 type communityTracker struct {
-	cfg     *config
-	stats   CommunityStats
-	prev    rw.MixingSet
-	stalled int
-	done    bool
-	outSet  []int
+	cfg       *config
+	stats     CommunityStats
+	prev      []int // copy of the last passing mixing set, reused across runs
+	prevFound bool
+	stalled   int
+	done      bool
+	outSet    []int // finalised community, reused across runs
 }
 
 func newCommunityTracker(cfg *config, seed int) *communityTracker {
-	return &communityTracker{cfg: cfg, stats: CommunityStats{Seed: seed}}
+	t := &communityTracker{}
+	t.reset(cfg, seed)
+	return t
+}
+
+// reset rewinds the tracker for a fresh seed, keeping its buffers. The
+// previous run's outSet becomes invalid — callers that retain a community
+// across runs must have copied it.
+func (t *communityTracker) reset(cfg *config, seed int) {
+	t.cfg = cfg
+	t.stats = CommunityStats{Seed: seed}
+	t.prev = t.prev[:0]
+	t.prevFound = false
+	t.stalled = 0
+	t.done = false
+	t.outSet = t.outSet[:0]
 }
 
 // observe records the largest mixing set found after walk step l and returns
@@ -232,8 +281,8 @@ func newCommunityTracker(cfg *config, seed int) *communityTracker {
 func (t *communityTracker) observe(l int, cur rw.MixingSet) bool {
 	t.stats.WalkLength = l
 	t.stats.SizesChecked += cur.SizesChecked
-	if t.prev.Found() && cur.Found() {
-		grown := float64(cur.Size()) >= (1+t.cfg.delta)*float64(t.prev.Size())
+	if t.prevFound && cur.Found() {
+		grown := float64(cur.Size()) >= (1+t.cfg.delta)*float64(len(t.prev))
 		if !grown {
 			t.stalled++
 			if t.stalled >= t.cfg.patience {
@@ -248,7 +297,8 @@ func (t *communityTracker) observe(l int, cur rw.MixingSet) bool {
 		t.stalled = 0
 	}
 	if cur.Found() {
-		t.prev = cur
+		t.prev = append(t.prev[:0], cur.Vertices...)
+		t.prevFound = true
 	}
 	return false
 }
@@ -262,16 +312,16 @@ func (t *communityTracker) observe(l int, cur rw.MixingSet) bool {
 func (t *communityTracker) settle(stopped bool) {
 	t.done = true
 	t.stats.Stopped = stopped
-	if !t.prev.Found() {
-		t.outSet = []int{t.stats.Seed}
+	if !t.prevFound {
+		t.outSet = append(t.outSet[:0], t.stats.Seed)
 		t.stats.FinalSetSize = 1
 		return
 	}
-	t.outSet = withSeed(t.prev.Vertices, t.stats.Seed)
+	t.outSet = withSeedInto(t.outSet[:0], t.prev, t.stats.Seed)
 	if stopped {
 		t.stats.FinalSetSize = len(t.outSet)
 	} else {
-		t.stats.FinalSetSize = t.prev.Size()
+		t.stats.FinalSetSize = len(t.prev)
 	}
 }
 
@@ -280,20 +330,22 @@ func (t *communityTracker) settle(stopped bool) {
 // set's size stalls (Algorithm 1 lines 5–20). The walk runs on the hybrid
 // sparse/dense engine of internal/rw, so the early steps — where the
 // distribution is a small ball around s — cost only the support size.
+//
+// It is a thin wrapper over NewDetector + Detector.DetectCommunity with a
+// background context; repeat callers on one graph should hold a Detector
+// instead (engines and sweep buffers are then reused across calls).
 func DetectCommunity(g *graph.Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
-	n := g.NumVertices()
-	cfg := defaultConfig(n)
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if s < 0 || s >= n {
-		return nil, CommunityStats{}, fmt.Errorf("core: seed %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
-	}
-	if err := cfg.validate(); err != nil {
+	return DetectCommunityContext(context.Background(), g, s, opts...)
+}
+
+// DetectCommunityContext is DetectCommunity with cancellation: ctx is
+// polled between walk steps and between ladder sizes of every sweep.
+func DetectCommunityContext(ctx context.Context, g *graph.Graph, s int, opts ...Option) ([]int, CommunityStats, error) {
+	d, err := NewDetector(g, opts...)
+	if err != nil {
 		return nil, CommunityStats{}, err
 	}
-
-	return detectCommunity(g, rw.NewWalkEngine(g), s, &cfg)
+	return d.DetectCommunity(ctx, s)
 }
 
 // sweep runs one mixing-set search over the engine's current distribution:
@@ -307,14 +359,20 @@ func (c *config) sweep(g *graph.Graph, eng *rw.WalkEngine) (rw.MixingSet, error)
 }
 
 // detectCommunity is the engine-level detection loop shared by
-// DetectCommunity and the Detect pool loop (which reuses one WalkEngine
-// across all its seeds instead of reallocating per seed).
-func detectCommunity(g *graph.Graph, eng *rw.WalkEngine, s int, cfg *config) ([]int, CommunityStats, error) {
+// Detector.DetectCommunity and the pool loop, both of which reuse one
+// WalkEngine and one tracker across all their seeds instead of reallocating
+// per seed. ctx is polled once per walk step; the sweep additionally polls
+// cfg.mix.Interrupt between ladder sizes. The returned community slice is
+// the tracker's buffer: valid until the tracker's next reset.
+func detectCommunity(ctx context.Context, g *graph.Graph, eng *rw.WalkEngine, trk *communityTracker, s int, cfg *config) ([]int, CommunityStats, error) {
 	if err := eng.Reset(s); err != nil {
 		return nil, CommunityStats{Seed: s}, err
 	}
-	trk := newCommunityTracker(cfg, s)
+	trk.reset(cfg, s)
 	for l := 1; l <= cfg.maxLen; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, trk.stats, err
+		}
 		var t0 time.Time
 		if cfg.observer != nil {
 			t0 = time.Now()
@@ -348,78 +406,41 @@ func detectCommunity(g *graph.Graph, eng *rw.WalkEngine, s int, cfg *config) ([]
 	return trk.outSet, trk.stats, nil
 }
 
-// withSeed ensures the seed vertex belongs to its community: the paper
-// defines C_s as a set containing s (Definition 2 takes the minimum over
-// sets containing the source), but the localised |S|-smallest-x_u selection
-// can drop the seed when its own probability still deviates from the
-// restricted stationary value. set is sorted; the result stays sorted.
-func withSeed(set []int, s int) []int {
+// withSeedInto appends set to dst with the seed vertex inserted at its
+// sorted position (unless already present): the paper defines C_s as a set
+// containing s (Definition 2 takes the minimum over sets containing the
+// source), but the localised |S|-smallest-x_u selection can drop the seed
+// when its own probability still deviates from the restricted stationary
+// value. dst must not alias set.
+func withSeedInto(dst, set []int, s int) []int {
 	i := sort.SearchInts(set, s)
-	if i < len(set) && set[i] == s {
-		return set
+	dst = append(dst, set[:i]...)
+	if i >= len(set) || set[i] != s {
+		dst = append(dst, s)
 	}
-	out := make([]int, 0, len(set)+1)
-	out = append(out, set[:i]...)
-	out = append(out, s)
-	out = append(out, set[i:]...)
-	return out
+	dst = append(dst, set[i:]...)
+	return dst
 }
 
 // Detect runs CDRW over the whole graph: repeatedly draw a seed from the
 // pool of unassigned vertices, detect its community, and remove the
 // community from the pool (Algorithm 1 lines 1–23). Vertices claimed by an
 // earlier community are not re-assigned, so the output is a partition.
+//
+// It is a thin wrapper over NewDetector + Detector.Detect with a background
+// context, and honours the unified option surface — WithEngine selects the
+// backend (reference by default), with results byte-identical to the
+// pre-Detector entry points for fixed seeds.
 func Detect(g *graph.Graph, opts ...Option) (*Result, error) {
-	n := g.NumVertices()
-	cfg := defaultConfig(n)
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if err := cfg.validate(); err != nil {
+	return DetectContext(context.Background(), g, opts...)
+}
+
+// DetectContext is Detect with cancellation: ctx is polled between pool
+// iterations, between walk steps and between ladder sizes on every engine.
+func DetectContext(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
+	d, err := NewDetector(g, opts...)
+	if err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.seed)
-	eng := rw.NewWalkEngine(g)
-
-	assigned := make([]bool, n)
-	pool := make([]int, n)
-	for v := range pool {
-		pool[v] = v
-	}
-	res := &Result{}
-	for len(pool) > 0 {
-		s := pool[r.Intn(len(pool))]
-		community, stats, err := detectCommunity(g, eng, s, &cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: community of seed %d: %w", s, err)
-		}
-		// The assigned piece keeps only vertices not already claimed; the
-		// seed is always kept (it was drawn from the pool, so it is free).
-		kept := make([]int, 0, len(community))
-		for _, v := range community {
-			if !assigned[v] {
-				kept = append(kept, v)
-				assigned[v] = true
-			}
-		}
-		if !assigned[s] {
-			kept = append(kept, s)
-			assigned[s] = true
-		}
-		res.Detections = append(res.Detections, Detection{
-			Raw:      community,
-			Assigned: kept,
-			Stats:    stats,
-		})
-
-		// Rebuild the pool without the newly assigned vertices.
-		nextPool := pool[:0]
-		for _, v := range pool {
-			if !assigned[v] {
-				nextPool = append(nextPool, v)
-			}
-		}
-		pool = nextPool
-	}
-	return res, nil
+	return d.Detect(ctx)
 }

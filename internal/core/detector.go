@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"cdrw/internal/congest"
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// errStreamStop unwinds a Detect run whose Stream consumer stopped early.
+// It never escapes the package.
+var errStreamStop = errors.New("core: detection stream stopped")
+
+// Detector is the reusable, context-aware entry point to CDRW: one option
+// surface, one result shape, three engines (WithEngine). Build it once per
+// graph and call Detect / DetectCommunity / Stream as often as needed —
+// walk engines, the degree-sorted sweep index, sweeper scratch and tracker
+// buffers are all retained between calls, so repeat single-seed serving on
+// one graph is allocation-free in steady state (BenchmarkDetectorReuse
+// pins this at 0 allocs/op on the sparse regime).
+//
+// Result-ownership contract: DetectCommunity returns a slice owned by the
+// Detector, valid until its next call — copy it to retain it. Detect
+// returns fresh Result slices, safe to keep.
+//
+// A Detector is not safe for concurrent use; build one per goroutine (they
+// may share the graph, which is immutable).
+type Detector struct {
+	g        *graph.Graph
+	cfg      config
+	settings Settings
+
+	// Per-run scratch: runCfg is cfg plus the run's Interrupt hook, runCtx
+	// the context the hook polls. Kept as fields (not locals) so the hot
+	// single-seed path stays allocation-free.
+	runCfg    config
+	runCtx    context.Context
+	interrupt func() error
+
+	// Reference-engine state, built lazily and retained.
+	idx *rw.DegreeIndex
+	eng *rw.WalkEngine
+	trk communityTracker
+
+	// Pool-loop scratch, retained.
+	assigned []bool
+	pool     []int
+
+	// CONGEST-engine state.
+	nw          *congest.Network
+	lastCongest congest.Metrics
+	ranCongest  bool
+
+	// streamFn, when set by Stream, receives each emitted Detection and
+	// reports whether to continue.
+	streamFn func(Detection) bool
+}
+
+// NewDetector resolves opts over the defaults for g and returns a reusable
+// detector. The engine defaults to EngineReference; EngineParallel
+// additionally requires WithCommunityEstimate.
+func NewDetector(g *graph.Graph, opts ...Option) (*Detector, error) {
+	cfg := defaultConfig(g.NumVertices())
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(g.NumVertices()); err != nil {
+		return nil, err
+	}
+	return &Detector{g: g, cfg: cfg, settings: cfg.snapshot()}, nil
+}
+
+// Graph returns the graph the detector was built over.
+func (d *Detector) Graph() *graph.Graph { return d.g }
+
+// Engine returns the engine the detector dispatches to.
+func (d *Detector) Engine() Engine { return d.cfg.engine }
+
+// Settings returns the resolved option snapshot of this detector.
+func (d *Detector) Settings() Settings { return d.settings }
+
+// CongestMetrics returns the CONGEST rounds/messages consumed by the last
+// Detect/DetectCommunity call, and whether the detector has run the CONGEST
+// engine at all. Zero-valued until the first congest-engine run.
+func (d *Detector) CongestMetrics() (congest.Metrics, bool) {
+	return d.lastCongest, d.ranCongest
+}
+
+// degreeIndex lazily builds the shared degree-sorted sweep index.
+func (d *Detector) degreeIndex() *rw.DegreeIndex {
+	if d.idx == nil {
+		d.idx = rw.NewDegreeIndex(d.g)
+	}
+	return d.idx
+}
+
+// walkEngine lazily builds the retained solo walk engine.
+func (d *Detector) walkEngine() *rw.WalkEngine {
+	if d.eng == nil {
+		d.eng = rw.NewWalkEngineWithIndex(d.g, d.degreeIndex())
+	}
+	return d.eng
+}
+
+// network lazily builds the retained CONGEST network, honouring the
+// WithCongest override's Workers. Its metrics accumulate across the
+// detector's runs; CongestMetrics reports per-run deltas.
+func (d *Detector) network() *congest.Network {
+	if d.nw == nil {
+		d.nw = congest.NewNetwork(d.g, d.congestConfig().Workers)
+	}
+	return d.nw
+}
+
+// congestConfig returns the distributed config for this run: the verbatim
+// WithCongest override when given, the lossless translation of the shared
+// options otherwise.
+func (d *Detector) congestConfig() congest.Config {
+	if d.cfg.congest != nil {
+		return *d.cfg.congest
+	}
+	return d.settings.CongestConfig()
+}
+
+// poolSeed is the pool-sampling seed of a full Detect run. The WithCongest
+// escape hatch overrides it on the CONGEST engine (the override is
+// documented as verbatim, and congest.Detect samples its pool from
+// cfg.Seed), so the Detector path stays byte-identical to the wrapper.
+func (d *Detector) poolSeed() uint64 {
+	if d.cfg.engine == EngineCongest && d.cfg.congest != nil {
+		return d.cfg.congest.Seed
+	}
+	return d.cfg.seed
+}
+
+// beginRun installs ctx into the detector's reused run config and returns
+// a pointer to it. The Interrupt hook is a single retained closure over
+// d.runCtx, so starting a run allocates nothing.
+func (d *Detector) beginRun(ctx context.Context) *config {
+	if d.interrupt == nil {
+		d.interrupt = func() error {
+			if d.runCtx == nil {
+				return nil
+			}
+			return d.runCtx.Err()
+		}
+	}
+	if ctx == context.Background() {
+		d.runCtx = nil // nothing can be cancelled; keep the ladder poll free
+	} else {
+		d.runCtx = ctx
+	}
+	d.runCfg = d.cfg
+	if d.runCtx != nil {
+		d.runCfg.mix.Interrupt = d.interrupt
+	}
+	return &d.runCfg
+}
+
+// endRun drops the run's context so a long-lived Detector does not pin a
+// finished request's context (values, cancel subtree) until the next call.
+func (d *Detector) endRun() { d.runCtx = nil }
+
+// DetectCommunity computes the community containing seed s on this
+// detector's engine. The reference and parallel engines run the solo
+// in-memory walk (a single seed has no parallelism to exploit); the CONGEST
+// engine runs the distributed protocol. The returned slice is owned by the
+// detector and valid until its next call; CommunityStats.SizesChecked
+// counts ladder entries on every engine.
+func (d *Detector) DetectCommunity(ctx context.Context, s int) ([]int, CommunityStats, error) {
+	n := d.g.NumVertices()
+	if s < 0 || s >= n {
+		return nil, CommunityStats{}, fmt.Errorf("core: seed %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
+	}
+	if d.cfg.engine == EngineCongest {
+		nw := d.network()
+		before := nw.Metrics()
+		out, cstats, err := congest.DetectCommunityContext(ctx, nw, s, d.congestConfig())
+		d.noteCongest(before)
+		if err != nil {
+			return nil, coreStats(cstats), err
+		}
+		return out, coreStats(cstats), nil
+	}
+	cfg := d.beginRun(ctx)
+	defer d.endRun()
+	return detectCommunity(ctx, d.g, d.walkEngine(), &d.trk, s, cfg)
+}
+
+// Detect partitions the whole graph on this detector's engine: the
+// Algorithm 1 pool loop for the reference and CONGEST engines, the
+// multi-seed lockstep run for the parallel engine. Detections stream to the
+// WithDetectionObserver callback as they freeze.
+func (d *Detector) Detect(ctx context.Context) (*Result, error) {
+	switch d.cfg.engine {
+	case EngineParallel:
+		return d.detectParallel(ctx)
+	case EngineCongest:
+		nw := d.network()
+		before := nw.Metrics()
+		res, err := d.detectPool(ctx, func(ctx context.Context, s int) ([]int, CommunityStats, bool, error) {
+			out, cstats, err := congest.DetectCommunityContext(ctx, nw, s, d.congestConfig())
+			return out, coreStats(cstats), true, err
+		})
+		d.noteCongest(before)
+		return res, err
+	default:
+		cfg := d.beginRun(ctx)
+		defer d.endRun()
+		eng := d.walkEngine()
+		return d.detectPool(ctx, func(ctx context.Context, s int) ([]int, CommunityStats, bool, error) {
+			out, stats, err := detectCommunity(ctx, d.g, eng, &d.trk, s, cfg)
+			// out is the tracker's buffer, overwritten next iteration.
+			return out, stats, false, err
+		})
+	}
+}
+
+// noteCongest records the metrics delta of the congest run that started at
+// before.
+func (d *Detector) noteCongest(before congest.Metrics) {
+	after := d.nw.Metrics()
+	d.lastCongest = congest.Metrics{
+		Rounds:   after.Rounds - before.Rounds,
+		Messages: after.Messages - before.Messages,
+	}
+	d.ranCongest = true
+}
+
+// coreStats projects the distributed engine's per-seed stats onto the
+// unified stats shape (the CONGEST extras — tree depth, rounds, messages —
+// are available via congest.DetectCommunity or Detector.CongestMetrics).
+func coreStats(cs congest.CommunityStats) CommunityStats {
+	return CommunityStats{
+		Seed:         cs.Seed,
+		WalkLength:   cs.WalkLength,
+		Stopped:      cs.Stopped,
+		FinalSetSize: cs.FinalSetSize,
+		SizesChecked: cs.SizesChecked,
+	}
+}
+
+// detectOne computes one seed's community. owned reports whether the
+// returned slice is freshly allocated (true) or a reused buffer the pool
+// loop must copy before retaining (false).
+type detectOne func(ctx context.Context, s int) ([]int, CommunityStats, bool, error)
+
+// detectPool is the engine-agnostic Algorithm 1 pool loop (lines 1–23),
+// shared by the reference and CONGEST engines: repeatedly draw a seed from
+// the pool of unassigned vertices, detect its community, emit the
+// detection, and remove the community from the pool. Seed sampling is
+// identical across engines (and to the pre-Detector entry points), which is
+// what makes their outputs comparable detection by detection.
+func (d *Detector) detectPool(ctx context.Context, one detectOne) (*Result, error) {
+	n := d.g.NumVertices()
+	r := rng.New(d.poolSeed())
+
+	if cap(d.assigned) < n {
+		d.assigned = make([]bool, n)
+		d.pool = make([]int, n)
+	}
+	assigned := d.assigned[:n]
+	pool := d.pool[:n]
+	for v := range pool {
+		assigned[v] = false
+		pool[v] = v
+	}
+
+	res := &Result{}
+	for len(pool) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s := pool[r.Intn(len(pool))]
+		community, stats, owned, err := one(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("core: community of seed %d: %w", s, err)
+		}
+		if !owned {
+			community = append([]int(nil), community...)
+		}
+		// The assigned piece keeps only vertices not already claimed; the
+		// seed is always kept (it was drawn from the pool, so it is free).
+		kept := make([]int, 0, len(community))
+		for _, v := range community {
+			if !assigned[v] {
+				kept = append(kept, v)
+				assigned[v] = true
+			}
+		}
+		if !assigned[s] {
+			kept = append(kept, s)
+			assigned[s] = true
+		}
+		det := Detection{Raw: community, Assigned: kept, Stats: stats}
+		res.Detections = append(res.Detections, det)
+		if !d.emit(det) {
+			return res, errStreamStop
+		}
+
+		// Rebuild the pool without the newly assigned vertices.
+		nextPool := pool[:0]
+		for _, v := range pool {
+			if !assigned[v] {
+				nextPool = append(nextPool, v)
+			}
+		}
+		pool = nextPool
+	}
+	return res, nil
+}
+
+// emit delivers one frozen detection to the observer and stream hooks,
+// reporting whether the run should continue.
+func (d *Detector) emit(det Detection) bool {
+	if d.cfg.detObs != nil {
+		d.cfg.detObs(det)
+	}
+	if d.streamFn != nil {
+		return d.streamFn(det)
+	}
+	return true
+}
+
+// Stream runs Detect and yields each Detection the moment its community is
+// frozen, as an iter.Seq2 over (Detection, error): detections arrive with a
+// nil error, and a run failure arrives as exactly one final (zero
+// Detection, non-nil error) pair. Breaking out of the range stops the
+// underlying run (reference/congest engines abandon the remaining pool;
+// the parallel engine stops emitting an already-computed result) without
+// surfacing an error. The parallel engine freezes all communities at
+// overlap resolution, so its detections arrive in a burst at the end.
+//
+//	for det, err := range d.Stream(ctx) {
+//		if err != nil { ... }
+//		serve(det)
+//	}
+func (d *Detector) Stream(ctx context.Context) iter.Seq2[Detection, error] {
+	return func(yield func(Detection, error) bool) {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stopped := false
+		d.streamFn = func(det Detection) bool {
+			if stopped {
+				return false
+			}
+			if !yield(det, nil) {
+				stopped = true
+				cancel()
+				return false
+			}
+			return true
+		}
+		defer func() { d.streamFn = nil }()
+		_, err := d.Detect(sctx)
+		if err != nil && !stopped && !errors.Is(err, errStreamStop) {
+			yield(Detection{}, err)
+		}
+	}
+}

@@ -39,7 +39,7 @@ func legacyDetectCommunity(t *testing.T, g *gen.PPM, s int, cfg config) ([]int, 
 				stalled++
 				if stalled >= cfg.patience {
 					stats.Stopped = true
-					out := withSeed(prev.Vertices, s)
+					out := withSeedInto(nil, prev.Vertices, s)
 					stats.FinalSetSize = len(out)
 					return out, stats
 				}
@@ -53,7 +53,7 @@ func legacyDetectCommunity(t *testing.T, g *gen.PPM, s int, cfg config) ([]int, 
 	}
 	if prev.Found() {
 		stats.FinalSetSize = prev.Size()
-		return withSeed(prev.Vertices, s), stats
+		return withSeedInto(nil, prev.Vertices, s), stats
 	}
 	stats.FinalSetSize = 1
 	return []int{s}, stats

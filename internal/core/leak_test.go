@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count drops back to the
+// baseline (cancelled walkers need a moment to observe ctx and unwind).
+func settleGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s leaked goroutines: %d running, baseline %d",
+				what, runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancellationLeaksNoGoroutines: cancelling mid-run tears down the
+// DetectParallel walker goroutines and the CONGEST per-round worker pool
+// without leaving anything running — runtime.NumGoroutine returns to its
+// pre-run baseline after every cancelled run.
+func TestCancellationLeaksNoGoroutines(t *testing.T) {
+	ppm := ppmGraph(t, 512, 4, 2, 0.1, 211)
+	base := runtime.NumGoroutine()
+
+	// Parallel engine: cancel from a walker's own step observer, so the
+	// cancellation lands while sibling walker goroutines are live.
+	{
+		ctx, cancel := context.WithCancel(context.Background())
+		steps := 0
+		_, err := DetectParallelContext(ctx, ppm.Graph, 4,
+			WithDelta(ppm.Config.ExpectedConductance()),
+			WithStepObserver(SynchronizedObserver(func(StepTiming) {
+				if steps++; steps == 2 {
+					cancel()
+				}
+			})))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel: error %v, want context.Canceled", err)
+		}
+		cancel()
+		settleGoroutines(t, base, "DetectParallel cancellation")
+	}
+
+	// CONGEST engine with a 4-goroutine per-round worker pool: cancel from
+	// the detection observer after the first community freezes.
+	{
+		ctx, cancel := context.WithCancel(context.Background())
+		d, err := NewDetector(ppm.Graph,
+			WithEngine(EngineCongest), WithCongestWorkers(4),
+			WithDelta(ppm.Config.ExpectedConductance()),
+			WithDetectionObserver(func(Detection) { cancel() }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Detect(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("congest: error %v, want context.Canceled", err)
+		}
+		cancel()
+		settleGoroutines(t, base, "CONGEST worker-pool cancellation")
+	}
+}

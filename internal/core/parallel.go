@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -28,19 +30,41 @@ import (
 // seed is drawn from the vertices not yet covered by earlier seeds' balls
 // of radius 2, which makes landing all r seeds in one block unlikely
 // without requiring any global knowledge beyond r.
+//
+// It is a thin wrapper over NewDetector with EngineParallel and a
+// background context.
 func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
+	return DetectParallelContext(context.Background(), g, r, opts...)
+}
+
+// DetectParallelContext is DetectParallel with cancellation: ctx is polled
+// by every walker goroutine between steps and between ladder sizes, and the
+// first walker error (or the caller's cancellation) cancels the sibling
+// walkers before the run unwinds.
+func DetectParallelContext(ctx context.Context, g *graph.Graph, r int, opts ...Option) (*Result, error) {
+	opts = append(opts[:len(opts):len(opts)],
+		WithEngine(EngineParallel), WithCommunityEstimate(r))
+	d, err := NewDetector(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return d.Detect(ctx)
+}
+
+// detectParallel is the EngineParallel backend of Detector.Detect.
+func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
+	g := d.g
 	n := g.NumVertices()
-	if r < 1 {
-		return nil, fmt.Errorf("core: community estimate r=%d must be positive", r)
-	}
-	if r > n {
-		return nil, fmt.Errorf("core: r=%d exceeds vertex count %d", r, n)
-	}
-	cfg := defaultConfig(n)
-	for _, o := range opts {
-		o(&cfg)
-	}
-	rnd := rng.New(cfg.seed)
+	r := d.cfg.communities
+	rnd := rng.New(d.cfg.seed)
+
+	// A cancelled sibling tears the whole run down: the first walker error
+	// cancels sctx, which every other walker polls between walk steps and
+	// between ladder sizes of its sweep.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cfg := d.cfg
+	cfg.mix.Interrupt = sctx.Err
 
 	// Draw spread-out seeds.
 	seeds := make([]int, 0, r)
@@ -73,10 +97,7 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 	// search. Each walk's arithmetic and stop rule are exactly
 	// DetectCommunity's, so the outcome per seed is identical to running
 	// the seeds one by one.
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	batch, err := rw.NewBatchWalkEngine(g, seeds)
+	batch, err := rw.NewBatchWalkEngineWithIndex(g, seeds, d.degreeIndex())
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +115,10 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 			wg.Add(1)
 			go func(i, l int) {
 				defer wg.Done()
+				if err := sctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				var t0 time.Time
 				if cfg.observer != nil {
 					t0 = time.Now()
@@ -112,6 +137,7 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 				}
 				if err != nil {
 					errs[i] = err
+					cancel() // first error cancels the sibling walkers
 					return
 				}
 				if cfg.observer != nil {
@@ -129,10 +155,27 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 			}(i, l)
 		}
 		wg.Wait()
+		// The first genuine walker error wins: once one walker fails and
+		// cancels sctx, its siblings abort with the induced context error,
+		// which must not mask the root cause. Pure context errors (the
+		// caller cancelled) surface as such.
+		var ctxErr error
+		ctxSeed := 0
 		for i := range trackers {
-			if errs[i] != nil {
+			if errs[i] == nil {
+				continue
+			}
+			if !errors.Is(errs[i], context.Canceled) && !errors.Is(errs[i], context.DeadlineExceeded) {
 				return nil, fmt.Errorf("core: parallel community of seed %d: %w", seeds[i], errs[i])
 			}
+			if ctxErr == nil {
+				ctxErr, ctxSeed = errs[i], seeds[i]
+			}
+		}
+		if ctxErr != nil {
+			return nil, fmt.Errorf("core: parallel community of seed %d: %w", ctxSeed, ctxErr)
+		}
+		for i := range trackers {
 			if trackers[i].done && !batch.Halted(i) {
 				batch.Halt(i)
 			}
@@ -197,6 +240,14 @@ func DetectParallel(g *graph.Graph, r int, opts ...Option) (*Result, error) {
 			Assigned: []int{v},
 			Stats:    CommunityStats{Seed: v, FinalSetSize: 1},
 		})
+	}
+
+	// Communities freeze at overlap resolution in the parallel model; emit
+	// them now, in detection order.
+	for _, det := range res.Detections {
+		if !d.emit(det) {
+			return res, errStreamStop
+		}
 	}
 	return res, nil
 }

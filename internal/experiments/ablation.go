@@ -22,17 +22,14 @@ func ablationWorkload(quick bool) gen.PPMConfig {
 	return gen.PPMConfig{N: 2 * s, R: 2, P: 2 * gen.Log2(s) / sf, Q: 0.6 / sf}
 }
 
-// ablationFScore runs the pool loop with extra options and returns the
-// total F-score.
-func ablationFScore(cfg gen.PPMConfig, seed uint64, extra ...core.Option) (float64, error) {
+// ablationFScore runs the pool loop on the configured engine with extra
+// options and returns the total F-score.
+func ablationFScore(ec Config, cfg gen.PPMConfig, seed uint64, extra ...core.Option) (float64, error) {
 	ppm, err := gen.NewPPM(cfg, rng.New(seed))
 	if err != nil {
 		return 0, err
 	}
-	opts := append([]core.Option{
-		core.WithDelta(cfg.ExpectedConductance()),
-		core.WithSeed(seed + 1),
-	}, extra...)
+	opts := append(ablationOpts(ec, cfg, seed), extra...)
 	res, err := core.Detect(ppm.Graph, opts...)
 	if err != nil {
 		return 0, err
@@ -48,6 +45,21 @@ func ablationFScore(cfg gen.PPMConfig, seed uint64, extra ...core.Option) (float
 	return metrics.TotalFScore(drs)
 }
 
+// ablationOpts is detectOpts with the historical ablation seed derivation
+// (seed+1 rather than seed+0x9e37, preserved for reproducibility of the
+// recorded ablation curves).
+func ablationOpts(ec Config, cfg gen.PPMConfig, seed uint64) []core.Option {
+	opts := []core.Option{
+		core.WithDelta(cfg.ExpectedConductance()),
+		core.WithSeed(seed + 1),
+		core.WithEngine(ec.Engine),
+	}
+	if ec.Engine == core.EngineParallel {
+		opts = append(opts, core.WithCommunityEstimate(cfg.R))
+	}
+	return opts
+}
+
 func ablate(cfg Config, name, title, xlabel string, xs []float64, mk func(x float64) []core.Option) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	work := ablationWorkload(cfg.Quick)
@@ -56,7 +68,7 @@ func ablate(cfg Config, name, title, xlabel string, xs []float64, mk func(x floa
 	for xi, x := range xs {
 		sum := 0.0
 		for t := 0; t < cfg.Trials; t++ {
-			f, err := ablationFScore(work, cfg.Seed+uint64(xi*131+t*7919), mk(x)...)
+			f, err := ablationFScore(cfg, work, cfg.Seed+uint64(xi*131+t*7919), mk(x)...)
 			if err != nil {
 				return nil, fmt.Errorf("%s x=%v: %w", name, x, err)
 			}
@@ -66,6 +78,7 @@ func ablate(cfg Config, name, title, xlabel string, xs []float64, mk func(x floa
 		series.Y = append(series.Y, sum/float64(cfg.Trials))
 	}
 	fig.Series = []Series{series}
+	fig.stamp(work.N, append(ablationOpts(cfg, work, cfg.Seed), mk(xs[0])...)...)
 	return fig, nil
 }
 
@@ -121,6 +134,8 @@ func AblationDelta(cfg Config) (*Figure, error) {
 			res, err := core.Detect(ppm.Graph,
 				core.WithDelta(phi*mult),
 				core.WithSeed(cfg.Seed+uint64(xi*131+t*7919)+1),
+				core.WithEngine(cfg.Engine),
+				core.WithCommunityEstimate(work.R),
 			)
 			if err != nil {
 				return nil, fmt.Errorf("ablation-delta mult=%v: %w", mult, err)
@@ -143,6 +158,9 @@ func AblationDelta(cfg Config) (*Figure, error) {
 		series.Y = append(series.Y, sum/float64(cfg.Trials))
 	}
 	fig.Series = []Series{series}
+	fig.stamp(work.N,
+		core.WithDelta(phi*0.25), core.WithSeed(cfg.Seed+1),
+		core.WithEngine(cfg.Engine), core.WithCommunityEstimate(work.R))
 	return fig, nil
 }
 

@@ -55,6 +55,10 @@ func CongestRounds(cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("congest-rounds n=%d: %w", r*s, err)
 		}
+		if i == 0 {
+			fig.stamp(r*s, core.WithEngine(core.EngineCongest),
+				core.WithDelta(ccfg.Delta), core.WithSeed(ccfg.Seed))
+		}
 		n := float64(r * s)
 		log4 := math.Pow(math.Log2(n), 4)
 		msgRef := n * n / float64(r) * (gcfg.P + gcfg.Q*float64(r-1))
@@ -100,6 +104,8 @@ func KMachineScaling(cfg Config) (*Figure, error) {
 	var measured, bound Series
 	measured.Label = "measured"
 	bound.Label = "M/k^2+dT/k"
+	fig.stamp(r*s, core.WithEngine(core.EngineCongest),
+		core.WithDelta(gcfg.ExpectedConductance()))
 	for _, k := range []int{2, 4, 8, 16} {
 		assign, err := kmachine.RandomVertexPartition(r*s, k, rng.New(cfg.Seed+uint64(k)))
 		if err != nil {
@@ -171,9 +177,15 @@ func Baselines(cfg Config) (*Figure, error) {
 			truth := ppm.TruthCommunities()
 
 			res, err := core.Detect(ppm.Graph,
-				core.WithDelta(gcfg.ExpectedConductance()), core.WithSeed(seed+1))
+				core.WithDelta(gcfg.ExpectedConductance()), core.WithSeed(seed+1),
+				core.WithEngine(cfg.Engine), core.WithCommunityEstimate(gcfg.R))
 			if err != nil {
 				return nil, fmt.Errorf("baselines CDRW q=%s: %w", q.label, err)
+			}
+			if qi == 0 && t == 0 {
+				fig.stamp(gcfg.N,
+					core.WithDelta(gcfg.ExpectedConductance()), core.WithSeed(seed+1),
+					core.WithEngine(cfg.Engine), core.WithCommunityEstimate(gcfg.R))
 			}
 			raw := make([][]int, 0, len(res.Detections))
 			for _, det := range res.Detections {

@@ -34,7 +34,27 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
-	Series []Series
+	// Engine names the detection engine that produced the figure's CDRW
+	// data points (empty for figures that run no detection). Options is the
+	// resolved option fingerprint of the figure's first detection run —
+	// instance-derived values (δ = Φ_G, per-trial seeds) are recorded at
+	// their first-instance values. Both are embedded in the JSON output so
+	// sweep runs from different engines or option sets stay
+	// distinguishable.
+	Engine  string
+	Options string
+	Series  []Series
+}
+
+// stamp records the engine and resolved option fingerprint of the
+// detection runs behind this figure, from its first instance's options.
+func (f *Figure) stamp(n int, opts ...core.Option) {
+	s, err := core.Resolve(n, opts...)
+	if err != nil {
+		return // validation failures surface from the run itself
+	}
+	f.Engine = s.Engine.String()
+	f.Options = s.Fingerprint()
 }
 
 // WriteTable renders the figure as an aligned text table, one row per x
@@ -116,6 +136,10 @@ type Config struct {
 	// Quick shrinks graph sizes (for tests and benchmarks); the full sizes
 	// reproduce the paper's axes.
 	Quick bool
+	// Engine selects the detection backend for the accuracy figures (the
+	// zero value is the reference engine). The complexity figures are
+	// engine-specific by nature and ignore it.
+	Engine core.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -128,18 +152,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// cdrwFScore generates a PPM graph, runs the full CDRW pool loop, and
-// returns the paper's total F-score (average per-detection F against the
-// seed's ground-truth block).
-func cdrwFScore(cfg gen.PPMConfig, seed uint64) (float64, error) {
+// detectOpts is the one option set every accuracy experiment runs with:
+// δ = Φ_G of the instance, a seed derived from the trial seed, and the
+// configured engine (with the ground-truth r as the parallel engine's
+// estimate). Keeping it in one place is what lets -engine swap the backend
+// of the whole figure suite without touching the figures.
+func detectOpts(ec Config, cfg gen.PPMConfig, seed uint64) []core.Option {
+	opts := []core.Option{
+		core.WithDelta(cfg.ExpectedConductance()),
+		core.WithSeed(seed + 0x9e37),
+		core.WithEngine(ec.Engine),
+	}
+	if ec.Engine == core.EngineParallel {
+		opts = append(opts, core.WithCommunityEstimate(cfg.R))
+	}
+	return opts
+}
+
+// cdrwFScore generates a PPM graph, runs the full CDRW pool loop on the
+// configured engine, and returns the paper's total F-score (average
+// per-detection F against the seed's ground-truth block).
+func cdrwFScore(ec Config, cfg gen.PPMConfig, seed uint64) (float64, error) {
 	ppm, err := gen.NewPPM(cfg, rng.New(seed))
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Detect(ppm.Graph,
-		core.WithDelta(cfg.ExpectedConductance()),
-		core.WithSeed(seed+0x9e37),
-	)
+	res, err := core.Detect(ppm.Graph, detectOpts(ec, cfg, seed)...)
 	if err != nil {
 		return 0, err
 	}
@@ -154,15 +192,15 @@ func cdrwFScore(cfg gen.PPMConfig, seed uint64) (float64, error) {
 	return metrics.TotalFScore(drs)
 }
 
-// averageFScore averages cdrwFScore over cfgTrials independent samples.
-func averageFScore(cfg gen.PPMConfig, base uint64, trials int) (float64, error) {
+// averageFScore averages cdrwFScore over ec.Trials independent samples.
+func averageFScore(ec Config, cfg gen.PPMConfig, base uint64) (float64, error) {
 	sum := 0.0
-	for t := 0; t < trials; t++ {
-		f, err := cdrwFScore(cfg, base+uint64(t)*7919)
+	for t := 0; t < ec.Trials; t++ {
+		f, err := cdrwFScore(ec, cfg, base+uint64(t)*7919)
 		if err != nil {
 			return 0, fmt.Errorf("trial %d: %w", t, err)
 		}
 		sum += f
 	}
-	return sum / float64(trials), nil
+	return sum / float64(ec.Trials), nil
 }

@@ -58,7 +58,7 @@ func Fig2(cfg Config) (*Figure, error) {
 				p = 1
 			}
 			gcfg := gen.PPMConfig{N: n, R: 1, P: p}
-			f, err := averageFScore(gcfg, cfg.Seed+uint64(ci*1000+ni), cfg.Trials)
+			f, err := averageFScore(cfg, gcfg, cfg.Seed+uint64(ci*1000+ni))
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s n=%d: %w", c.label, n, err)
 			}
@@ -67,6 +67,12 @@ func Fig2(cfg Config) (*Figure, error) {
 		}
 		fig.Series = append(fig.Series, s)
 	}
+	p0 := curves[0].p(sizes[0])
+	if p0 > 1 {
+		p0 = 1
+	}
+	g0 := gen.PPMConfig{N: sizes[0], R: 1, P: p0}
+	fig.stamp(g0.N, detectOpts(cfg, g0, cfg.Seed)...)
 	return fig, nil
 }
 
@@ -111,7 +117,7 @@ func Fig3(cfg Config) (*Figure, error) {
 		series := Series{Label: q.label}
 		for pi, p := range ps {
 			gcfg := gen.PPMConfig{N: 2 * s, R: 2, P: p.value, Q: q.value}
-			f, err := averageFScore(gcfg, cfg.Seed+uint64(qi*100+pi*10), cfg.Trials)
+			f, err := averageFScore(cfg, gcfg, cfg.Seed+uint64(qi*100+pi*10))
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s %s: %w", p.label, q.label, err)
 			}
@@ -120,6 +126,8 @@ func Fig3(cfg Config) (*Figure, error) {
 		}
 		fig.Series = append(fig.Series, series)
 	}
+	g0 := gen.PPMConfig{N: 2 * s, R: 2, P: ps[0].value, Q: qs[0].value}
+	fig.stamp(g0.N, detectOpts(cfg, g0, cfg.Seed)...)
 	return fig, nil
 }
 
@@ -186,7 +194,7 @@ func fig4(cfg Config, name, title string, dims func(r int) (n, blockSize int)) (
 			n, s := dims(r)
 			params := fig4Curves(s)[ci]
 			gcfg := gen.PPMConfig{N: n, R: r, P: params.p, Q: params.q}
-			f, err := averageFScore(gcfg, cfg.Seed+uint64(ci*1000+ri*10), cfg.Trials)
+			f, err := averageFScore(cfg, gcfg, cfg.Seed+uint64(ci*1000+ri*10))
 			if err != nil {
 				return nil, fmt.Errorf("%s r=%d curve %s: %w", name, r, params.label, err)
 			}
@@ -195,5 +203,9 @@ func fig4(cfg Config, name, title string, dims func(r int) (n, blockSize int)) (
 		}
 		fig.Series = append(fig.Series, series)
 	}
+	n0, s1 := dims(rs[0])
+	p0 := fig4Curves(s1)[0]
+	g0 := gen.PPMConfig{N: n0, R: rs[0], P: p0.p, Q: p0.q}
+	fig.stamp(g0.N, detectOpts(cfg, g0, cfg.Seed)...)
 	return fig, nil
 }

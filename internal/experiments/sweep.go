@@ -10,9 +10,11 @@ import (
 	"cdrw/internal/rng"
 )
 
-// WriteJSON renders the figure as one JSON document: figure metadata plus
-// the series as parallel x/y arrays. Benchmark tooling ingests these
-// trajectories (e.g. the sweep-mode figure) to attribute per-step wins.
+// WriteJSON renders the figure as one JSON document: figure metadata — the
+// detection engine and the resolved option fingerprint, so records from
+// different engines or option sets stay distinguishable — plus the series
+// as parallel x/y arrays. Benchmark tooling ingests these trajectories
+// (e.g. the sweep-mode figure) to attribute per-step wins.
 func (f *Figure) WriteJSON(w io.Writer) error {
 	type series struct {
 		Label string    `json:"label"`
@@ -20,12 +22,14 @@ func (f *Figure) WriteJSON(w io.Writer) error {
 		Y     []float64 `json:"y"`
 	}
 	doc := struct {
-		Name   string   `json:"name"`
-		Title  string   `json:"title"`
-		XLabel string   `json:"xlabel"`
-		YLabel string   `json:"ylabel"`
-		Series []series `json:"series"`
-	}{Name: f.Name, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+		Name    string   `json:"name"`
+		Title   string   `json:"title"`
+		Engine  string   `json:"engine,omitempty"`
+		Options string   `json:"options,omitempty"`
+		XLabel  string   `json:"xlabel"`
+		YLabel  string   `json:"ylabel"`
+		Series  []series `json:"series"`
+	}{Name: f.Name, Title: f.Title, Engine: f.Engine, Options: f.Options, XLabel: f.XLabel, YLabel: f.YLabel}
 	for _, s := range f.Series {
 		doc.Series = append(doc.Series, series{Label: s.Label, X: s.X, Y: s.Y})
 	}
@@ -116,5 +120,8 @@ func SweepTrajectory(cfg Config) (*Figure, error) {
 		sweepS.Y = append(sweepS.Y, a.sweepUS/a.trials)
 	}
 	fig.Series = []Series{supportS, modeS, stepS, sweepS}
+	// The step observer is an in-memory diagnostic, so this figure always
+	// runs the reference engine regardless of Config.Engine.
+	fig.stamp(n, core.WithDelta(gcfg.ExpectedConductance()))
 	return fig, nil
 }

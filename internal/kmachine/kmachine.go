@@ -14,6 +14,7 @@
 package kmachine
 
 import (
+	"context"
 	"fmt"
 
 	"cdrw/internal/congest"
@@ -132,6 +133,19 @@ func (s *Simulator) Observer() congest.RoundObserver {
 
 // Results returns the accumulated conversion results.
 func (s *Simulator) Results() Results { return s.res }
+
+// Run installs the simulator's observer on nw for the duration of one
+// ctx-aware runner — typically a closure over congest.DetectContext or
+// congest.DetectCommunityContext — restoring whatever observer was
+// installed before, and forwards ctx so the observed execution is
+// cancellable. Conversion results accumulate across Run calls; read them
+// with Results.
+func (s *Simulator) Run(ctx context.Context, nw *congest.Network, run func(context.Context) error) error {
+	prev := nw.Observer()
+	nw.SetObserver(s.Observer())
+	defer nw.SetObserver(prev)
+	return run(ctx)
+}
 
 // ConversionBound returns the Conversion Theorem's upper bound
 // Õ(M/(k²·B) + ∆·T/(k·B)) on the k-machine rounds needed to simulate a

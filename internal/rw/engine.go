@@ -56,6 +56,15 @@ func NewWalkEngine(g *graph.Graph) *WalkEngine {
 	}
 }
 
+// NewWalkEngineWithIndex is NewWalkEngine with a prebuilt degree index for
+// the sparse sweep, so long-lived callers (core.Detector) can share one
+// index across every engine they create over the same graph.
+func NewWalkEngineWithIndex(g *graph.Graph, idx *DegreeIndex) *WalkEngine {
+	e := NewWalkEngine(g)
+	e.sweeper = NewSweeperWithIndex(g, idx)
+	return e
+}
+
 // SetDenseThreshold overrides the support size at which the engine abandons
 // the sparse kernel. 0 forces the dense kernel from the first step (the
 // legacy behaviour, useful as a benchmark baseline); values > n keep the
@@ -195,6 +204,8 @@ func (e *WalkEngine) Advance(k int) {
 // bit-identical to LargestMixingSetOpt(g, e.Dist(), minSize, opt) either
 // way. The zero MixOptions selects the paper's constants. The sweeper and
 // its degree index are built lazily on first use and reused across Reset.
+// On the sparse path the returned Vertices alias sweeper storage and stay
+// valid only until this engine's next sweep; copy them to retain a set.
 func (e *WalkEngine) LargestMixingSet(minSize int, opt MixOptions) (MixingSet, error) {
 	if e.sweeper == nil {
 		e.sweeper = NewSweeper(e.g)
@@ -230,19 +241,24 @@ type BatchWalkEngine struct {
 // NewBatchWalkEngine returns a batch of point-source walks, one per source.
 // Duplicate sources are allowed (the walks evolve independently).
 func NewBatchWalkEngine(g *graph.Graph, sources []int) (*BatchWalkEngine, error) {
+	// One degree index serves every walk's sparse sweep: it is read-only
+	// after construction, so per-walk Sweepers sharing it can run from
+	// different goroutines (DetectParallel sweeps all walks concurrently).
+	return NewBatchWalkEngineWithIndex(g, sources, NewDegreeIndex(g))
+}
+
+// NewBatchWalkEngineWithIndex is NewBatchWalkEngine with a caller-owned
+// degree index, letting a reusable Detector keep one index alive across
+// repeated parallel runs instead of rebuilding it per call.
+func NewBatchWalkEngineWithIndex(g *graph.Graph, sources []int, idx *DegreeIndex) (*BatchWalkEngine, error) {
 	b := &BatchWalkEngine{
 		g:       g,
 		walks:   make([]*WalkEngine, len(sources)),
 		halted:  make([]bool, len(sources)),
 		inBatch: make([]bool, len(sources)),
 	}
-	// One degree index serves every walk's sparse sweep: it is read-only
-	// after construction, so per-walk Sweepers sharing it can run from
-	// different goroutines (DetectParallel sweeps all walks concurrently).
-	idx := NewDegreeIndex(g)
 	for i, s := range sources {
-		e := NewWalkEngine(g)
-		e.sweeper = NewSweeperWithIndex(g, idx)
+		e := NewWalkEngineWithIndex(g, idx)
 		if err := e.Reset(s); err != nil {
 			return nil, err
 		}

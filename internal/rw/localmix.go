@@ -261,6 +261,12 @@ type MixOptions struct {
 	Threshold float64
 	// Growth replaces the 1+1/8e ladder growth factor.
 	Growth float64
+	// Interrupt, when non-nil, is polled between candidate sizes of the
+	// ladder; a non-nil return aborts the sweep with that error. Detection
+	// loops install ctx.Err here so cancellation lands mid-ladder, not just
+	// between walk steps. It never changes the values a completed sweep
+	// returns.
+	Interrupt func() error
 }
 
 func (o MixOptions) withDefaults() MixOptions {
@@ -271,6 +277,14 @@ func (o MixOptions) withDefaults() MixOptions {
 		o.Growth = GrowthFactor
 	}
 	return o
+}
+
+// interrupted polls the Interrupt hook (nil-safe).
+func (o MixOptions) interrupted() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 // LargestMixingSet finds the largest set S (|S| on the geometric ladder
@@ -299,6 +313,9 @@ func LargestMixingSetOpt(g *graph.Graph, p Dist, minSize int, opt MixOptions) (M
 	x := make([]float64, n)
 	best := MixingSet{}
 	for _, size := range ladder {
+		if err := opt.interrupted(); err != nil {
+			return MixingSet{}, err
+		}
 		best.SizesChecked++
 		sel, sum := denseSweepSize(g, p, size, x)
 		if sum < opt.Threshold {

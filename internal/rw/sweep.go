@@ -3,6 +3,7 @@ package rw
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"cdrw/internal/graph"
@@ -131,6 +132,16 @@ type Sweeper struct {
 	sel  []bool       // per-slot selection marks, cleared after use
 	wpos []int32      // support positions in idx.order, ascending
 	wdeg []int64      // prefix degree sums over wpos
+	out  []int        // sparse-path result buffer, reused across sweeps
+
+	// Ladder cache: the candidate sizes depend only on (minSize, growth, n),
+	// which are fixed across the steps of a detection loop; recomputing the
+	// ladder per sweep was the last steady-state allocation on the sparse
+	// serving path.
+	ladder       []int
+	ladderMin    int
+	ladderGrowth float64
+	ladderOK     bool
 }
 
 // NewSweeper returns a sweeper over g with its own DegreeIndex.
@@ -149,6 +160,11 @@ func NewSweeperWithIndex(g *graph.Graph, idx *DegreeIndex) *Sweeper {
 // selects the dense path (reusing the sweeper's buffers, but otherwise
 // identical to LargestMixingSetOpt). The two paths are bit-identical: same
 // sets, same sums, same threshold decisions.
+//
+// On the sparse path the returned Vertices slice aliases sweeper storage: it
+// is valid until the sweeper's next sweep and must be copied to be retained
+// (the detection loops copy it into their trackers). This is what keeps a
+// long-lived Detector's repeat runs allocation-free.
 func (s *Sweeper) LargestMixingSet(p Dist, support []int32, minSize int, opt MixOptions) (MixingSet, error) {
 	opt = opt.withDefaults()
 	n := s.g.NumVertices()
@@ -167,10 +183,13 @@ func (s *Sweeper) LargestMixingSet(p Dist, support []int32, minSize int, opt Mix
 		}
 	}
 	s.prepare(support)
-	ladder := SizeLadderWithGrowth(minSize, n, opt.Growth)
+	ladder := s.sizeLadder(minSize, opt.Growth)
 	best := MixingSet{}
 	bestSize := 0
 	for _, size := range ladder {
+		if err := opt.interrupted(); err != nil {
+			return MixingSet{}, err
+		}
 		best.SizesChecked++
 		sum, _ := s.evalSize(p, support, size)
 		if sum < opt.Threshold {
@@ -184,6 +203,17 @@ func (s *Sweeper) LargestMixingSet(p Dist, support []int32, minSize int, opt Mix
 	return best, nil
 }
 
+// sizeLadder returns the cached candidate-size ladder, rebuilding it only
+// when minSize or growth changed since the previous sweep.
+func (s *Sweeper) sizeLadder(minSize int, growth float64) []int {
+	if !s.ladderOK || s.ladderMin != minSize || s.ladderGrowth != growth {
+		s.ladder = SizeLadderWithGrowth(minSize, s.g.NumVertices(), growth)
+		s.ladderMin, s.ladderGrowth = minSize, growth
+		s.ladderOK = true
+	}
+	return s.ladder
+}
+
 // denseSweep is LargestMixingSetOpt over the sweeper's reusable buffer.
 func (s *Sweeper) denseSweep(p Dist, minSize int, opt MixOptions) (MixingSet, error) {
 	n := s.g.NumVertices()
@@ -191,9 +221,12 @@ func (s *Sweeper) denseSweep(p Dist, minSize int, opt MixOptions) (MixingSet, er
 		s.x = make([]float64, n)
 	}
 	x := s.x[:n]
-	ladder := SizeLadderWithGrowth(minSize, n, opt.Growth)
+	ladder := s.sizeLadder(minSize, opt.Growth)
 	best := MixingSet{}
 	for _, size := range ladder {
+		if err := opt.interrupted(); err != nil {
+			return MixingSet{}, err
+		}
 		best.SizesChecked++
 		sel, sum := denseSweepSize(s.g, p, size, x)
 		if sum < opt.Threshold {
@@ -222,7 +255,7 @@ func (s *Sweeper) prepare(support []int32) {
 		s.wpos[i] = s.idx.pos[v]
 		s.sel[i] = false
 	}
-	sort.Slice(s.wpos, func(i, j int) bool { return s.wpos[i] < s.wpos[j] })
+	slices.Sort(s.wpos)
 	s.wdeg = append(s.wdeg[:0], 0)
 	for _, posn := range s.wpos {
 		s.wdeg = append(s.wdeg, s.wdeg[len(s.wdeg)-1]+int64(s.idx.degs[posn]))
@@ -379,12 +412,14 @@ func (s *Sweeper) evalSize(p Dist, support []int32, size int) (float64, int) {
 }
 
 // materialize re-runs the selection for the accepted size and emits its
-// vertex set, ascending. Doing this once for the winning size (instead of
-// per passing size, as the dense sweep does) keeps the ladder loop free of
-// O(size) work.
+// vertex set, ascending, into the sweeper's reused result buffer. Doing this
+// once for the winning size (instead of per passing size, as the dense sweep
+// does) keeps the ladder loop free of O(size) work, and reusing the buffer
+// keeps steady-state sweeps allocation-free — callers that retain the set
+// across sweeps must copy it.
 func (s *Sweeper) materialize(p Dist, support []int32, size int) []int {
 	_, eSel := s.evalSize(p, support, size)
-	out := make([]int, 0, size)
+	out := s.out[:0]
 	for _, en := range s.ents[:eSel] {
 		out = append(out, int(en.v))
 	}
@@ -398,6 +433,7 @@ func (s *Sweeper) materialize(p Dist, support []int32, size int) []int {
 		out = append(out, int(s.idx.order[i]))
 		j--
 	}
-	sort.Ints(out)
+	slices.Sort(out)
+	s.out = out
 	return out
 }
