@@ -4,14 +4,16 @@ Detector reuse contract.
 
 Reads two `go test -bench` output files (base ref and head), takes the
 median across -count repetitions of every reported metric (ns/op plus
-custom ns/step and ns/sweep, and allocs/op), and fails when:
+custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
 
-  * any benchmark whose name contains "Sparse" or "DetectorReuse" regressed
-    in an ns-valued metric by more than the threshold (default 20%) against
-    the base ref, or
-  * BenchmarkDetectorReuse reports a non-zero allocs/op median in head —
-    the Detector's allocation-free repeat-run contract, gated absolutely
-    (no baseline needed).
+  * any benchmark whose name contains "Sparse", "DetectorReuse",
+    "CongestBatch" or "KMachineConv" regressed in an ns-valued metric (or,
+    for the CONGEST batch benchmarks, in simulated rounds/op) by more than
+    the threshold (default 20%) against the base ref, or
+  * BenchmarkDetectorReuse or BenchmarkBatchWalkEngineReuse reports a
+    non-zero allocs/op median in head — the allocation-free repeat-run
+    contracts of the Detector and of the parallel engine's batch walk
+    engine, gated absolutely (no baseline needed).
 
 Pass "-" as the base file to skip the regression comparison and run only
 the absolute allocation gate. Benchmarks that exist only on one side are
@@ -24,10 +26,10 @@ Usage: bench_gate.py base.bench|- head.bench [threshold-percent]
 import collections
 import sys
 
-NS_UNITS = ("ns/op", "ns/step", "ns/sweep")
+NS_UNITS = ("ns/op", "ns/step", "ns/sweep", "rounds/op")
 ALLOC_UNIT = "allocs/op"
-GATED_SUBSTRINGS = ("Sparse", "DetectorReuse")
-ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse",)
+GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv")
+ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkBatchWalkEngineReuse")
 
 
 def load(path):

@@ -324,6 +324,12 @@ var (
 	// WithTreeDepthLimit bounds the CONGEST BFS tree depth (negative =
 	// unbounded; in-memory engines ignore it).
 	WithTreeDepthLimit = core.WithTreeDepthLimit
+	// WithCongestBatch batches the Congest engine's pool loop: that many
+	// seed walks advance in shared communication rounds per super-step
+	// (≤ 1 = sequential). Detections are bit-identical to the sequential
+	// loop; the simulated round count drops to the shared-round cost.
+	// In-memory engines ignore it.
+	WithCongestBatch = core.WithCongestBatch
 	// WithCongest is the escape hatch to the full distributed knob set: the
 	// given CongestConfig is used verbatim by the Congest engine, overriding
 	// the translated shared options.
@@ -365,6 +371,16 @@ type (
 	CongestMetrics = congest.Metrics
 	// CongestResult is the distributed Detect output.
 	CongestResult = congest.Result
+	// CongestBatchDetection is one walk's outcome of CongestDetectBatch:
+	// its community plus stats bit-identical to a sequential run's.
+	CongestBatchDetection = congest.BatchDetection
+	// CongestLinkLoad is one directed link's aggregate word count in one
+	// communication round, as delivered to a CongestLoadObserver.
+	CongestLinkLoad = congest.LinkLoad
+	// CongestLoadObserver receives per-round aggregate link loads — the
+	// batched-execution-friendly alternative to the per-message observer,
+	// and what the k-machine converter's fast path consumes.
+	CongestLoadObserver = congest.LoadObserver
 	// KMachineAssignment maps vertices to home machines.
 	KMachineAssignment = kmachine.Assignment
 	// KMachineSimulator converts CONGEST traffic into k-machine rounds.
@@ -400,6 +416,22 @@ func CongestDetectContext(ctx context.Context, nw *CongestNetwork, cfg CongestCo
 // CongestDetectCommunity runs distributed CDRW for one seed.
 func CongestDetectCommunity(nw *CongestNetwork, s int, cfg CongestConfig) ([]int, congest.CommunityStats, error) {
 	return congest.DetectCommunity(nw, s, cfg)
+}
+
+// CongestDetectBatch runs distributed CDRW for several seeds concurrently in
+// shared communication rounds: every walk's community and per-walk cost are
+// bit-identical to CongestDetectCommunity of its seed, while the network's
+// round count grows by the batch's maximum instead of its sum. Set
+// CongestConfig.Batch (or WithCongestBatch on the Detector) to batch the
+// full Detect pool loop the same way.
+func CongestDetectBatch(nw *CongestNetwork, seeds []int, cfg CongestConfig) ([]CongestBatchDetection, error) {
+	return congest.DetectBatch(nw, seeds, cfg)
+}
+
+// CongestDetectBatchContext is CongestDetectBatch with cancellation, polled
+// between shared rounds.
+func CongestDetectBatchContext(ctx context.Context, nw *CongestNetwork, seeds []int, cfg CongestConfig) ([]CongestBatchDetection, error) {
+	return congest.DetectBatchContext(ctx, nw, seeds, cfg)
 }
 
 // CongestDetectCommunityContext is CongestDetectCommunity with

@@ -498,6 +498,200 @@ func BenchmarkCongestDetectCommunity(b *testing.B) {
 	}
 }
 
+// --- Batched CONGEST + k-machine conversion benchmarks ---
+//
+// CI's bench job gates these like the sparse-regime set: any benchmark whose
+// name contains "CongestBatch" or "KMachineConv" fails the job on a >20%
+// regression against the base ref. The Seq twins are the one-seed-at-a-time
+// baselines the batching claims are measured against.
+
+// benchCongestPPM samples the batched-CONGEST workload: r well-separated
+// blocks in the sparse regime (average intra-degree ~2·log₂ block).
+func benchCongestPPM(b *testing.B, n, blocks int) *cdrw.PPM {
+	b.Helper()
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 2 * math.Log2(bs) / bs, Q: 0.1 / bs}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ppm
+}
+
+// benchCongestWalks measures detecting one community per block — the same
+// seed set on both sides — either one seed at a time (the sequential
+// flooding loop) or as one DetectBatch sharing communication rounds. Rounds
+// per op are reported alongside wall time; per-walk results are
+// bit-identical between the two (the conformance suite enforces it), so the
+// pair isolates exactly what batching buys.
+func benchCongestWalks(b *testing.B, n, blocks int, batched bool) {
+	ppm := benchCongestPPM(b, n, blocks)
+	cfg := cdrw.DefaultCongestConfig(n)
+	cfg.Delta = ppm.Config.ExpectedConductance()
+	seeds := make([]int, blocks)
+	for i := range seeds {
+		seeds[i] = i*(n/blocks) + n/(2*blocks) // one mid-block seed per block
+	}
+	var rounds int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
+		if batched {
+			if _, err := cdrw.CongestDetectBatch(nw, seeds, cfg); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, s := range seeds {
+				if _, _, err := cdrw.CongestDetectCommunity(nw, s, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		rounds += int64(nw.Metrics().Rounds)
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+}
+
+// BenchmarkCongestBatchWalksSeq2k: 8 communities one seed at a time, n=2048.
+func BenchmarkCongestBatchWalksSeq2k(b *testing.B) { benchCongestWalks(b, 2048, 8, false) }
+
+// BenchmarkCongestBatchWalks2k: the same 8 walks in shared rounds; the
+// acceptance bar is fewer rounds/op and lower wall-clock than the Seq twin.
+func BenchmarkCongestBatchWalks2k(b *testing.B) { benchCongestWalks(b, 2048, 8, true) }
+
+// BenchmarkCongestBatchWalksSeq10k: the n=10⁴ sequential baseline (skipped
+// with -short; one op simulates hundreds of thousands of rounds).
+func BenchmarkCongestBatchWalksSeq10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-vertex CONGEST benchmark skipped in short mode")
+	}
+	benchCongestWalks(b, 10_000, 10, false)
+}
+
+// BenchmarkCongestBatchWalks10k: the n=10⁴ batched run (skipped with
+// -short).
+func BenchmarkCongestBatchWalks10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-vertex CONGEST benchmark skipped in short mode")
+	}
+	benchCongestWalks(b, 10_000, 10, true)
+}
+
+// benchKMachineConv measures converting one batched CONGEST execution (8
+// seed walks in shared rounds) into k-machine rounds, through either the
+// per-message Traffic observer or the per-link aggregate load observer.
+func benchKMachineConv(b *testing.B, loads bool) {
+	const n, k, walks = 1024, 8, 8
+	ppm := benchCongestPPM(b, n, 8)
+	cfg := cdrw.DefaultCongestConfig(n)
+	cfg.Delta = ppm.Config.ExpectedConductance()
+	assign, err := cdrw.RandomVertexPartition(n, k, cdrw.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int, walks)
+	for i := range seeds {
+		seeds[i] = i * n / walks
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := cdrw.NewKMachineSimulator(assign, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw := cdrw.NewCongestNetwork(ppm.Graph, 1)
+		if loads {
+			nw.SetLoadObserver(sim.LoadObserver())
+		} else {
+			nw.SetObserver(sim.Observer())
+		}
+		if _, err := cdrw.CongestDetectBatch(nw, seeds, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if sim.Results().Rounds == 0 {
+			b.Fatal("conversion saw no rounds")
+		}
+	}
+}
+
+// BenchmarkKMachineConvTraffic: the per-message reference path.
+func BenchmarkKMachineConvTraffic(b *testing.B) { benchKMachineConv(b, false) }
+
+// BenchmarkKMachineConvLoads: the fused per-link aggregation fast path; the
+// acceptance bar is a measured speedup over the Traffic twin.
+func BenchmarkKMachineConvLoads(b *testing.B) { benchKMachineConv(b, true) }
+
+// BenchmarkBatchWalkEngineReuse pins the rw-layer serving contract behind
+// the parallel engine: Reset-ing a retained BatchWalkEngine and running a
+// short lockstep detection (step + sparse sweep per walk) allocates nothing
+// in steady state. CI's bench gate enforces 0 allocs/op absolutely.
+func BenchmarkBatchWalkEngineReuse(b *testing.B) {
+	g := benchWalkGraph(b, 10_000)
+	n := g.NumVertices()
+	const walks, patterns = 4, 8
+	sources := make([]int, walks)
+	batch, err := cdrw.NewBatchWalkEngine(g, sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minSize := benchMinSize(n)
+	serve := func(i int) {
+		for w := range sources {
+			sources[w] = ((i%patterns)*701 + w*2503) % n
+		}
+		if err := batch.Reset(sources); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			batch.Step()
+			for w := 0; w < walks; w++ {
+				if _, err := batch.LargestMixingSet(w, minSize, cdrw.MixOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// Warm every source pattern the timed loop will serve, so the retained
+	// buffers reach their steady-state capacity.
+	for i := 0; i < patterns; i++ {
+		serve(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve(i)
+	}
+}
+
+// BenchmarkDetectorReuseParallel measures repeated whole-graph serving on
+// one long-lived parallel-engine Detector: the batch walk engine, trackers
+// and overlap-resolution scratch are retained and Reset between runs
+// instead of rebuilt. (Unlike single-seed reuse this cannot be
+// allocation-free — each run returns fresh Result slices and spawns walker
+// goroutines — so it is gated on time, not allocations.)
+func BenchmarkDetectorReuseParallel(b *testing.B) {
+	ppm := benchCongestPPM(b, 4096, 8)
+	d, err := cdrw.NewDetector(ppm.Graph,
+		cdrw.WithDelta(ppm.Config.ExpectedConductance()),
+		cdrw.WithEngine(cdrw.Parallel), cdrw.WithCommunityEstimate(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := d.Detect(ctx); err != nil {
+		b.Fatal(err) // warm the retained engine and scratch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Detect(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLPABaseline measures one Label Propagation run on the same
 // two-block PPM workload.
 func BenchmarkLPABaseline(b *testing.B) {

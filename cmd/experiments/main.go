@@ -50,13 +50,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var figs figList
-	fs.Var(&figs, "fig", "figure to regenerate: 1, 2, 3, 4a, 4b, rounds, kmachine, baselines, sweep, "+
+	fs.Var(&figs, "fig", "figure to regenerate: 1, 2, 3, 4a, 4b, rounds, batch, kmachine, baselines, sweep, "+
 		"ablation-{threshold,growth,delta,patience}, ablations, all (repeatable)")
 	var (
 		quick   = fs.Bool("quick", false, "shrink graph sizes for a fast run")
 		trials  = fs.Int("trials", 3, "independent samples per data point")
 		seed    = fs.Uint64("seed", 1, "base random seed")
 		engine  = fs.String("engine", "reference", "detection engine for the accuracy figures: reference (alias: core), parallel, or congest")
+		batch   = fs.Int("congest-batch", 1, "congest engine pool batch size: that many seed walks share communication rounds (<=1 sequential); stamped into every record's option fingerprint")
 		tsv     = fs.Bool("tsv", false, "emit TSV instead of aligned tables")
 		jsonOut = fs.Bool("json", false, "emit JSON documents instead of tables")
 		output  = fs.String("out", "", "write to a file instead of stdout")
@@ -79,10 +80,10 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		out = f
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Engine: eng}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Engine: eng, CongestBatch: *batch}
 
 	expand := map[string][]string{
-		"all":       {"2", "3", "4a", "4b", "rounds", "kmachine", "baselines", "localmix"},
+		"all":       {"2", "3", "4a", "4b", "rounds", "batch", "kmachine", "baselines", "localmix"},
 		"ablations": {"ablation-threshold", "ablation-growth", "ablation-delta", "ablation-patience"},
 	}
 	var todo []string
@@ -116,6 +117,8 @@ func run(args []string, out io.Writer) error {
 			fig, err = experiments.Fig4b(cfg)
 		case "rounds":
 			fig, err = experiments.CongestRounds(cfg)
+		case "batch":
+			fig, err = experiments.CongestBatchRounds(cfg)
 		case "kmachine":
 			fig, err = experiments.KMachineScaling(cfg)
 		case "baselines":

@@ -1,0 +1,362 @@
+package congest
+
+import (
+	"context"
+	"fmt"
+
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// This file implements batched multi-source CONGEST detection: several seed
+// walks of Algorithm 1 advance through the same communication rounds. The
+// protocol instances are independent — in a real execution each link simply
+// carries one O(log n)-bit word per walk per round — so the batch costs
+// max-over-walks rounds where the sequential loop costs their sum, while
+// every walk's own computation, stop rule, and round/message accounting stay
+// bit-identical to a solo DetectCommunity run (the conformance suite in
+// coreequiv_test.go pins this). The per-round flooding of all walks is fused
+// into one pass over the adjacency arrays, and observers receive per-link
+// aggregate word counts per shared round (LinkLoad), which is what the
+// k-machine converter's fast path consumes.
+
+// BatchDetection is one walk's outcome of a DetectBatch run.
+type BatchDetection struct {
+	// Community is the detected community C_s of the walk's seed, sorted
+	// ascending.
+	Community []int
+	// Stats carries the walk's own statistics — identical, field for field,
+	// to what a sequential DetectCommunity of the same seed would report,
+	// including Metrics: the rounds and messages the walk's own protocol
+	// consumed. The shared rounds the batch actually took appear in the
+	// network's global metrics (their count is the max, not the sum, of the
+	// per-walk rounds).
+	Stats CommunityStats
+}
+
+// DetectBatch runs the distributed Algorithm 1 for every seed concurrently
+// in shared communication rounds: all walks build their BFS trees together,
+// flood their distributions in the same rounds (one fused pass carrying
+// per-seed payloads), and run their mixing-set searches side by side. Each
+// walk's result and per-walk cost are bit-identical to DetectCommunity of
+// the same seed; only the network's global round count changes — it grows by
+// the maximum, not the sum, of the walks' rounds. Duplicate seeds are
+// allowed (the walks evolve independently).
+func DetectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error) {
+	return DetectBatchContext(context.Background(), nw, seeds, cfg)
+}
+
+// DetectBatchContext is DetectBatch with cancellation: the round scheduler
+// polls ctx between phases, mid-ladder and mid-binary-search, so a cancelled
+// caller unwinds within O(1) shared rounds with ctx.Err(). Rounds simulated
+// before the cancellation remain accounted.
+func DetectBatchContext(ctx context.Context, nw *Network, seeds []int, cfg Config) ([]BatchDetection, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range seeds {
+		if err := nw.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	nw.setContext(ctx)
+	defer nw.setContext(nil)
+	return detectBatch(nw, seeds, cfg)
+}
+
+// batchWalk is the per-walk state of a batched run.
+type batchWalk struct {
+	seed    int
+	tree    *Tree
+	covered []int32
+	p, next rw.Dist
+	prevSet []int
+	stalled int
+	active  bool
+	stats   CommunityStats
+	out     []int
+}
+
+// finish freezes the walk's community exactly like detectCommunity's finish.
+func (w *batchWalk) finish(set []int, stoppedByRule bool) {
+	w.active = false
+	w.stats.Stopped = stoppedByRule
+	w.out = withSeed(set, w.seed)
+	w.stats.FinalSetSize = len(w.out)
+}
+
+// detectBatch is the engine loop behind DetectBatchContext; the caller has
+// validated inputs and installed the run context.
+func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error) {
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	g := nw.Graph()
+	n := g.NumVertices()
+	nw.beginBatch(len(seeds))
+	defer nw.endBatch()
+
+	walks := make([]*batchWalk, len(seeds))
+	for i, s := range seeds {
+		walks[i] = &batchWalk{
+			seed:   s,
+			p:      make(rw.Dist, n),
+			next:   make(rw.Dist, n),
+			active: true,
+			stats:  CommunityStats{Seed: s},
+		}
+		walks[i].p[s] = 1
+	}
+	degInv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > 0 {
+			degInv[v] = 1 / float64(d)
+		}
+	}
+
+	// Phase 1: every walk builds its BFS tree; the builds share rounds, so
+	// the phase costs max tree depth, not the sum.
+	nw.beginPhase()
+	for i, w := range walks {
+		nw.enterLane(i)
+		tree, err := nw.BuildTree(w.seed, cfg.TreeDepthLimit)
+		if err != nil {
+			nw.endPhase()
+			return nil, err
+		}
+		w.tree = tree
+		w.covered = tree.CoveredVertices()
+		w.stats.TreeDepth = tree.MaxDepth()
+	}
+	nw.endPhase()
+
+	threshold, growth := cfg.mixResolved()
+	ladder := rw.SizeLadderWithGrowth(cfg.MinCommunitySize, n, growth)
+	x := make([]float64, n)
+	counts := make([]int32, n)
+	active := len(walks)
+	for l := 1; l <= cfg.MaxWalkLength && active > 0; l++ {
+		if err := nw.interrupted(); err != nil {
+			return nil, err
+		}
+		// Flood phase: one shared round advances every live walk's
+		// distribution (Algorithm 1 lines 9–11, batched).
+		nw.beginPhase()
+		batchFlood(nw, walks, degInv, counts)
+		nw.endPhase()
+
+		// Search phase: each live walk runs its whole candidate-size ladder;
+		// the walks' broadcast/convergecast rounds overlap into shared
+		// rounds, so the phase costs the slowest walk's rounds.
+		nw.beginPhase()
+		for i, w := range walks {
+			if !w.active {
+				continue
+			}
+			nw.enterLane(i)
+			w.stats.WalkLength = l
+			curSet, err := nw.largestMixingSet(w.tree, w.covered, w.p, x, ladder, threshold)
+			if err != nil {
+				nw.endPhase()
+				return nil, fmt.Errorf("congest: walk length %d: %w", l, err)
+			}
+			w.stats.SizesChecked += len(ladder)
+			if w.prevSet != nil && curSet != nil {
+				grown := float64(len(curSet)) >= (1+cfg.Delta)*float64(len(w.prevSet))
+				if !grown {
+					w.stalled++
+					if w.stalled >= cfg.Patience {
+						w.finish(w.prevSet, true)
+						active--
+					}
+					continue
+				}
+				w.stalled = 0
+			}
+			if curSet != nil {
+				w.prevSet = curSet
+			}
+		}
+		nw.endPhase()
+	}
+
+	out := make([]BatchDetection, len(walks))
+	for i, w := range walks {
+		if w.active {
+			// Length cap reached without the stop rule firing.
+			if w.prevSet != nil {
+				w.finish(w.prevSet, false)
+			} else {
+				w.finish([]int{w.seed}, false)
+			}
+		}
+		w.stats.Metrics = nw.laneMetrics(i)
+		out[i] = BatchDetection{Community: w.out, Stats: w.stats}
+	}
+	return out, nil
+}
+
+// batchFlood performs one shared communication round of probability flooding
+// for every live walk. Accounting: each walk is charged its own round and
+// its own per-neighbour messages (exactly floodStep's), while the observers
+// see the aggregate — link (v,w) carries one word per live walk holding mass
+// at v, reported as a single LinkLoad with that multiplicity. The
+// computation is fused: one pass over the adjacency arrays evolves every
+// walk, pulling each neighbour list once instead of once per walk, with each
+// walk's per-vertex accumulation in exactly floodStep's order so the evolved
+// distributions are bit-identical to sequential flooding.
+func batchFlood(nw *Network, walks []*batchWalk, degInv []float64, counts []int32) {
+	g := nw.Graph()
+	observing := nw.observing()
+	for i, w := range walks {
+		if !w.active {
+			continue
+		}
+		nw.enterLane(i)
+		round := nw.beginRound()
+		for v, mass := range w.p {
+			if mass != 0 && g.Degree(v) > 0 {
+				nw.accountMessages(g.Degree(v))
+				if observing {
+					counts[v]++
+				}
+			}
+		}
+		nw.endRound(round)
+	}
+	if observing {
+		// All lanes flood in the phase's first shared round.
+		loads := nw.phaseLoads[0]
+		for v, c := range counts {
+			if c == 0 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				loads = append(loads, LinkLoad{From: int32(v), To: w, Words: c})
+			}
+			counts[v] = 0
+		}
+		nw.phaseLoads[0] = loads
+	}
+	nw.parallelFor(g.NumVertices(), func(u int) {
+		ns := g.Neighbors(u)
+		for _, w := range walks {
+			if !w.active {
+				continue
+			}
+			sum := 0.0
+			for _, nb := range ns {
+				sum += w.p[nb] * degInv[nb]
+			}
+			if len(ns) == 0 {
+				sum = w.p[u] // isolated nodes keep their mass
+			}
+			w.next[u] = sum
+		}
+	})
+	for _, w := range walks {
+		if w.active {
+			w.p, w.next = w.next, w.p
+		}
+	}
+}
+
+// detectBatchedPool is Detect's pool loop with batching (cfg.Batch > 1):
+// each super-step draws up to Batch seeds from the pool of unassigned
+// vertices — the first uniformly, the rest spread outside the 2-hop balls of
+// the seeds already drawn, the same spreading DetectParallel uses — runs
+// them as one DetectBatch, and applies the detections in draw order (a
+// vertex claimed by an earlier detection of the same super-step is simply
+// not re-assigned, exactly as in the sequential loop). Every detection's
+// community and per-walk stats are bit-identical to a sequential
+// DetectCommunity of its seed; the batch only changes the pool schedule —
+// Batch communities leave the pool per super-step instead of one — so the
+// total round count drops by up to the batch factor, while seeds that land
+// in one community cost some duplicated messages. The run is fully
+// deterministic in cfg.Seed.
+//
+// The pool tail is never batched: once the pool is smaller than
+// Batch·MinCommunitySize it cannot plausibly hold a batch of distinct
+// communities, and forcing every straggler vertex to walk would run
+// detections the sequential loop absorbs into one another (a straggler's
+// walk can be pathologically long — it is exactly the seed whose community
+// never settles). The tail therefore draws one seed at a time, matching the
+// sequential loop's behaviour where batching has nothing left to win.
+func detectBatchedPool(nw *Network, cfg Config) (*Result, error) {
+	g := nw.Graph()
+	n := g.NumVertices()
+	r := rng.New(cfg.Seed)
+	assigned := make([]bool, n)
+	blocked := make([]bool, n)
+	pool := make([]int, n)
+	for v := range pool {
+		pool[v] = v
+	}
+	seeds := make([]int, 0, cfg.Batch)
+	free := make([]int, 0, n)
+	res := &Result{}
+	before := nw.Metrics()
+	for len(pool) > 0 {
+		if err := nw.interrupted(); err != nil {
+			return nil, fmt.Errorf("congest: %w", err)
+		}
+		// Draw the super-step's seeds: first uniform, rest ball-spread.
+		seeds = append(seeds[:0], pool[r.Intn(len(pool))])
+		if cfg.Batch > 1 && len(pool) >= cfg.Batch*cfg.MinCommunitySize {
+			for _, u := range g.Ball(seeds[0], 2) {
+				blocked[u] = true
+			}
+			for len(seeds) < cfg.Batch && len(seeds) < len(pool) {
+				free = free[:0]
+				for _, v := range pool {
+					if !blocked[v] {
+						free = append(free, v)
+					}
+				}
+				if len(free) == 0 {
+					break // the pool is one big ball; no spread seeds left
+				}
+				s := free[r.Intn(len(free))]
+				seeds = append(seeds, s)
+				for _, u := range g.Ball(s, 2) {
+					blocked[u] = true
+				}
+			}
+			for _, s := range seeds {
+				for _, u := range g.Ball(s, 2) {
+					blocked[u] = false
+				}
+			}
+		}
+		dets, err := detectBatch(nw, seeds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("congest: batch of seed %d: %w", seeds[0], err)
+		}
+		for i, det := range dets {
+			s := seeds[i]
+			kept := make([]int, 0, len(det.Community))
+			for _, v := range det.Community {
+				if !assigned[v] {
+					kept = append(kept, v)
+					assigned[v] = true
+				}
+			}
+			if !assigned[s] {
+				kept = append(kept, s)
+				assigned[s] = true
+			}
+			res.Detections = append(res.Detections, Detection{Raw: det.Community, Assigned: kept, Stats: det.Stats})
+		}
+		nextPool := pool[:0]
+		for _, v := range pool {
+			if !assigned[v] {
+				nextPool = append(nextPool, v)
+			}
+		}
+		pool = nextPool
+	}
+	res.Metrics = nw.Metrics()
+	res.Metrics.Rounds -= before.Rounds
+	res.Metrics.Messages -= before.Messages
+	return res, nil
+}

@@ -40,6 +40,15 @@ type Config struct {
 	// GrowthFactor overrides the 1+1/8e candidate-size ladder growth;
 	// values ≤ 1 select the paper's constant.
 	GrowthFactor float64
+	// Batch is the number of seed walks Detect advances in shared
+	// communication rounds per pool super-step (values ≤ 1 keep the
+	// sequential one-seed-at-a-time loop). Batching never changes the
+	// detected communities or any per-walk statistic — each walk's protocol,
+	// including its own round/message cost, is bit-identical to a sequential
+	// run — it only lets independent walks share rounds (and speculate ahead
+	// of the pool), so Result.Metrics.Rounds drops while total messages may
+	// grow by the speculative walks that end up unused.
+	Batch int
 }
 
 // mixResolved returns the effective mixing threshold and ladder growth,
@@ -71,6 +80,7 @@ func DefaultConfig(n int) Config {
 		Seed:             1,
 		Workers:          1,
 		TreeDepthLimit:   -1,
+		Batch:            1,
 	}
 }
 
@@ -81,6 +91,9 @@ func (c Config) validate() error {
 	if c.MinCommunitySize < 1 || c.MaxWalkLength < 1 || c.Patience < 1 {
 		return fmt.Errorf("congest: config must be positive (minSize=%d maxLen=%d patience=%d)",
 			c.MinCommunitySize, c.MaxWalkLength, c.Patience)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("congest: negative batch size %d", c.Batch)
 	}
 	return nil
 }
@@ -249,10 +262,16 @@ func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
 // broadcast of the winning threshold key, after which every node knows
 // locally whether it belongs to S_ℓ.
 // The per-node x_u computation is rw.XValueAt — the exact function the
-// reference engine sweeps with — so the two engines share one definition of
-// the statistic; this simulator only owns the tree selection and the
-// round/message accounting around it. A cancelled run context aborts the
-// sweep between ladder sizes with the context's error.
+// reference engine sweeps with — and the per-size sum is the canonical
+// rw.MixingSum, so the two engines share one definition of the statistic;
+// this simulator only owns the tree selection and the round/message
+// accounting around it. When the tree covers the whole graph, each size's
+// distributed selection runs on the degree-indexed fast path
+// (selectKSmallestIndexed): off-support nodes answer the root's broadcasts
+// from their degree alone, so a size costs O(support + log²n) simulator work
+// per binary-search iteration instead of a scan over every covered node.
+// A cancelled run context aborts the sweep between ladder sizes with the
+// context's error.
 func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []float64, ladder []int, mixThreshold float64) ([]int, error) {
 	g := nw.Graph()
 	n := g.NumVertices()
@@ -262,15 +281,43 @@ func (nw *Network) largestMixingSet(tree *Tree, covered []int32, p rw.Dist, x []
 		found         bool
 		bestX         = math.NaN() // µ' of winning size, for re-deriving x
 	)
+	indexed := n > 0 && len(covered) == n
+	if indexed {
+		nw.support = nw.support[:0]
+		for v := 0; v < n; v++ {
+			if p[v] != 0 {
+				nw.support = append(nw.support, int32(v))
+			}
+		}
+		nw.off.Reset(nw.degreeIndex(), nw.support)
+	}
 	for _, size := range ladder {
 		if err := nw.interrupted(); err != nil {
 			return nil, err
 		}
 		muPrime := rw.MuPrime(g, size)
-		nw.parallelFor(n, func(u int) {
-			x[u] = rw.XValueAt(g, p, u, size, muPrime)
-		})
-		threshold, sum, ok := nw.selectKSmallest(tree, covered, x, size)
+		var (
+			threshold key
+			sum       float64
+			ok        bool
+		)
+		if indexed && muPrime > 0 {
+			nw.off.SetMu(muPrime)
+			xs := nw.xsup[:0]
+			for _, v := range nw.support {
+				xs = append(xs, rw.XValueAt(g, p, int(v), size, muPrime))
+			}
+			nw.xsup = xs
+			threshold, sum, ok = nw.selectKSmallestIndexed(tree, nw.support, xs, &nw.off, muPrime, size)
+		} else {
+			nw.parallelFor(n, func(u int) {
+				x[u] = rw.XValueAt(g, p, u, size, muPrime)
+			})
+			threshold, _, ok = nw.selectKSmallest(tree, covered, x, size)
+			if ok {
+				sum = canonicalCoveredSum(g, p, covered, x, threshold, muPrime, size)
+			}
+		}
 		if ok && sum < mixThreshold {
 			bestThreshold = threshold
 			bestSize = size
@@ -336,9 +383,13 @@ func (r *Result) Partition() [][]int {
 }
 
 // Detect runs the distributed CDRW pool loop (Algorithm 1 lines 1–23),
-// detecting communities one seed at a time until every vertex is assigned.
-// Seed sampling matches internal/core.Detect exactly, so on a connected
-// graph the two engines emit identical communities.
+// detecting communities until every vertex is assigned. With cfg.Batch ≤ 1
+// it runs one seed at a time with seed sampling matching internal/core.
+// Detect exactly, so on a connected graph the two engines emit identical
+// communities; with cfg.Batch > 1 each super-step advances a batch of seed
+// walks in shared communication rounds (see DetectBatch and
+// detectBatchedPool), every individual detection still bit-identical to a
+// sequential run of its seed.
 func Detect(nw *Network, cfg Config) (*Result, error) {
 	return DetectContext(context.Background(), nw, cfg)
 }
@@ -346,12 +397,20 @@ func Detect(nw *Network, cfg Config) (*Result, error) {
 // DetectContext is Detect with cancellation: ctx is polled by the round
 // scheduler and between pool iterations, so a cancelled caller gets
 // ctx.Err() back without waiting for the pool to drain.
+//
+// With cfg.Batch > 1 the pool loop advances batches of seed walks in shared
+// communication rounds (see detectBatchedPool); the emitted Detections are
+// bit-identical to the sequential loop's, with Result.Metrics.Rounds
+// reduced to the shared-round cost.
 func DetectContext(ctx context.Context, nw *Network, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	nw.setContext(ctx)
 	defer nw.setContext(nil)
+	if cfg.Batch > 1 {
+		return detectBatchedPool(nw, cfg)
+	}
 	n := nw.Graph().NumVertices()
 	r := rng.New(cfg.Seed)
 	assigned := make([]bool, n)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"cdrw/internal/graph"
+	"cdrw/internal/rw"
 )
 
 // Metrics accumulates the two CONGEST complexity measures.
@@ -34,7 +35,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.Messages += other.Messages
 }
 
-// Traffic identifies one message for the per-round observer.
+// Traffic identifies one message for the per-message observer.
 type Traffic struct {
 	From, To int32
 }
@@ -43,6 +44,35 @@ type Traffic struct {
 // slice is reused between rounds; implementations must not retain it.
 type RoundObserver func(round int, msgs []Traffic)
 
+// LinkLoad aggregates the words one directed link carried in one round:
+// Words messages of one O(log n)-bit word each from From to To. In a batched
+// round (DetectBatch) a link carries one word per walk whose payload crosses
+// it, so Words is the number of such walks; in a sequential round every load
+// has Words == 1. Entries for the same link may repeat within a round;
+// consumers accumulate.
+type LinkLoad struct {
+	From, To int32
+	Words    int32
+}
+
+// LoadObserver receives each communication round's aggregate link loads. It
+// carries the same information as RoundObserver but without materialising
+// one Traffic entry per word, which is what makes the k-machine conversion
+// of batched executions cheap (kmachine.Simulator.LoadObserver computes its
+// per-link prefix sums straight from the aggregates). The slice is reused
+// between rounds; implementations must not retain it.
+type LoadObserver func(round int, loads []LinkLoad)
+
+// lane is the per-walk accounting of a batched execution: the rounds and
+// messages the walk's own protocol consumed (exactly what a sequential run
+// of the walk would be charged), plus its round offset within the current
+// phase.
+type lane struct {
+	rounds      int
+	messages    int64
+	phaseRounds int
+}
+
 // Network wraps the input graph with round/message accounting. A Network is
 // not safe for concurrent use; the parallel executor only parallelises
 // per-node local computation inside a round, never the round structure.
@@ -50,8 +80,21 @@ type Network struct {
 	g        *graph.Graph
 	metrics  Metrics
 	observer RoundObserver
+	loadObs  LoadObserver
 	workers  int
 	buf      []Traffic
+	loadBuf  []LinkLoad
+
+	// Batched-execution state (DetectBatch): while lanes is non-nil the
+	// network is in batch mode — beginRound and the send helpers charge the
+	// current lane, and rounds of different lanes within one phase overlap
+	// into shared communication rounds that are folded into the global
+	// metrics (and flushed to the observers) at endPhase.
+	lanes      []lane
+	curLane    int
+	phaseMax   int          // max lane phaseRounds this phase
+	phaseLoads [][]LinkLoad // per relative round, only built while observing
+	expandBuf  []Traffic    // legacy-observer expansion scratch
 
 	// ctx is the run context installed by the context-aware entry points
 	// (DetectContext and friends); the round scheduler polls it so a
@@ -59,6 +102,14 @@ type Network struct {
 	// first observed context error for the duration of the run.
 	ctx    context.Context
 	ctxErr error
+
+	// Selection fast-path state (selectKSmallestIndexed), built lazily and
+	// retained across runs.
+	degIdx  *rw.DegreeIndex
+	off     rw.OffSupportStream
+	support []int32
+	xsup    []float64
+	selKeys []key
 }
 
 // NewNetwork returns a CONGEST network over g. workers controls how many
@@ -73,13 +124,24 @@ func NewNetwork(g *graph.Graph, workers int) *Network {
 }
 
 // SetObserver installs a per-round message observer (pass nil to remove).
-// Observing materialises every message and slows simulation down; it is
-// intended for the k-machine conversion.
+// Observing materialises every message and slows simulation down; prefer
+// SetLoadObserver, which receives the same information as per-link
+// aggregates.
 func (nw *Network) SetObserver(obs RoundObserver) { nw.observer = obs }
 
 // Observer returns the currently installed per-round observer (nil if none),
 // so scoped installers (kmachine.Simulator.Run) can restore it afterwards.
 func (nw *Network) Observer() RoundObserver { return nw.observer }
+
+// SetLoadObserver installs a per-round link-load observer (pass nil to
+// remove). It may coexist with a Traffic observer; both see every round.
+func (nw *Network) SetLoadObserver(obs LoadObserver) { nw.loadObs = obs }
+
+// LoadObserver returns the currently installed load observer (nil if none).
+func (nw *Network) LoadObserver() LoadObserver { return nw.loadObs }
+
+// observing reports whether any observer needs per-round load data.
+func (nw *Network) observing() bool { return nw.observer != nil || nw.loadObs != nil }
 
 // setContext installs the run context for the duration of one context-aware
 // entry point. Passing nil clears it.
@@ -117,40 +179,174 @@ func (nw *Network) ResetMetrics() { nw.metrics = Metrics{} }
 // polls the run context: rounds already in flight complete (their cost is
 // accounted), but the detection loops check interrupted() between rounds and
 // unwind before scheduling more.
+//
+// In batch mode the round belongs to the current lane: it advances that
+// walk's own round count, and its position within the phase decides which
+// shared communication round carries its messages (lane round r of every
+// walk lands in the phase's r-th shared round). The fold into the global
+// round count happens at endPhase.
 func (nw *Network) beginRound() int {
 	nw.interrupted()
+	if nw.lanes != nil {
+		ln := &nw.lanes[nw.curLane]
+		ln.rounds++
+		ln.phaseRounds++
+		if ln.phaseRounds > nw.phaseMax {
+			nw.phaseMax = ln.phaseRounds
+		}
+		if nw.observing() {
+			for len(nw.phaseLoads) < ln.phaseRounds {
+				nw.phaseLoads = append(nw.phaseLoads, nil)
+			}
+		}
+		return ln.phaseRounds
+	}
 	nw.metrics.Rounds++
 	if nw.observer != nil {
 		nw.buf = nw.buf[:0]
 	}
+	if nw.loadObs != nil {
+		nw.loadBuf = nw.loadBuf[:0]
+	}
 	return nw.metrics.Rounds
 }
 
-// send accounts one message from -> to within the current round.
+// send accounts one message from -> to within the current round (of the
+// current lane, in batch mode).
 func (nw *Network) send(from, to int) {
 	nw.metrics.Messages++
+	if nw.lanes != nil {
+		ln := &nw.lanes[nw.curLane]
+		ln.messages++
+		if nw.observing() {
+			r := ln.phaseRounds - 1
+			nw.phaseLoads[r] = append(nw.phaseLoads[r], LinkLoad{From: int32(from), To: int32(to), Words: 1})
+		}
+		return
+	}
 	if nw.observer != nil {
 		nw.buf = append(nw.buf, Traffic{From: int32(from), To: int32(to)})
 	}
+	if nw.loadObs != nil {
+		nw.loadBuf = append(nw.loadBuf, LinkLoad{From: int32(from), To: int32(to), Words: 1})
+	}
 }
 
-// sendMany accounts count messages from a single sender to distinct
-// neighbours given by the callback (used by flooding, where a node messages
-// every neighbour).
+// sendAllNeighbors accounts one message from v to each of its neighbours
+// (used by flooding and tree building, where a node messages every
+// neighbour).
 func (nw *Network) sendAllNeighbors(v int) {
 	ns := nw.g.Neighbors(v)
 	nw.metrics.Messages += int64(len(ns))
+	if nw.lanes != nil {
+		ln := &nw.lanes[nw.curLane]
+		ln.messages += int64(len(ns))
+		if nw.observing() {
+			r := ln.phaseRounds - 1
+			for _, w := range ns {
+				nw.phaseLoads[r] = append(nw.phaseLoads[r], LinkLoad{From: int32(v), To: w, Words: 1})
+			}
+		}
+		return
+	}
 	if nw.observer != nil {
 		for _, w := range ns {
 			nw.buf = append(nw.buf, Traffic{From: int32(v), To: w})
 		}
 	}
+	if nw.loadObs != nil {
+		for _, w := range ns {
+			nw.loadBuf = append(nw.loadBuf, LinkLoad{From: int32(v), To: w, Words: 1})
+		}
+	}
 }
 
-// endRound closes the current round, flushing messages to the observer.
+// accountMessages charges count messages to the global metrics (and the
+// current lane, in batch mode) without naming their endpoints. Only valid
+// while no observer is installed; observer paths enumerate real sends.
+func (nw *Network) accountMessages(count int) {
+	nw.metrics.Messages += int64(count)
+	if nw.lanes != nil {
+		nw.lanes[nw.curLane].messages += int64(count)
+	}
+}
+
+// endRound closes the current round, flushing messages to the observers. In
+// batch mode rounds are flushed at endPhase instead.
 func (nw *Network) endRound(round int) {
+	if nw.lanes != nil {
+		return
+	}
 	if nw.observer != nil {
 		nw.observer(round, nw.buf)
+	}
+	if nw.loadObs != nil {
+		nw.loadObs(round, nw.loadBuf)
+	}
+}
+
+// beginBatch enters batch mode with k lanes (one per walk). The caller must
+// pair it with endBatch and bracket every group of concurrent lane rounds
+// with beginPhase/endPhase.
+func (nw *Network) beginBatch(k int) {
+	if cap(nw.lanes) < k {
+		nw.lanes = make([]lane, k)
+	}
+	nw.lanes = nw.lanes[:k]
+	for i := range nw.lanes {
+		nw.lanes[i] = lane{}
+	}
+	nw.curLane = 0
+	nw.phaseMax = 0
+}
+
+// endBatch leaves batch mode.
+func (nw *Network) endBatch() { nw.lanes = nil }
+
+// laneMetrics returns lane i's accumulated own-protocol cost.
+func (nw *Network) laneMetrics(i int) Metrics {
+	return Metrics{Rounds: nw.lanes[i].rounds, Messages: nw.lanes[i].messages}
+}
+
+// enterLane directs subsequent rounds and messages to lane i.
+func (nw *Network) enterLane(i int) { nw.curLane = i }
+
+// beginPhase opens a group of concurrent lane rounds: within the phase, the
+// r-th round of every lane shares the r-th communication round, so the phase
+// costs max (not sum) over lanes in global rounds — the Conversion-friendly
+// batched execution of independent protocol instances.
+func (nw *Network) beginPhase() {
+	for i := range nw.lanes {
+		nw.lanes[i].phaseRounds = 0
+	}
+	nw.phaseMax = 0
+}
+
+// endPhase folds the phase into the global metrics (max over lanes) and
+// flushes its shared rounds to the observers in order.
+func (nw *Network) endPhase() {
+	base := nw.metrics.Rounds
+	nw.metrics.Rounds += nw.phaseMax
+	if !nw.observing() {
+		return
+	}
+	for r := 0; r < nw.phaseMax; r++ {
+		loads := nw.phaseLoads[r]
+		if nw.loadObs != nil {
+			nw.loadObs(base+r+1, loads)
+		}
+		if nw.observer != nil {
+			// Legacy per-message view: expand each load into Words entries.
+			buf := nw.expandBuf[:0]
+			for _, ld := range loads {
+				for w := int32(0); w < ld.Words; w++ {
+					buf = append(buf, Traffic{From: ld.From, To: ld.To})
+				}
+			}
+			nw.expandBuf = buf
+			nw.observer(base+r+1, buf)
+		}
+		nw.phaseLoads[r] = loads[:0]
 	}
 }
 
@@ -183,6 +379,17 @@ func (nw *Network) parallelFor(n int, fn func(i int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// degreeIndex lazily builds the degree-sorted index behind the selection
+// fast path (selectKSmallestIndexed). It models node-local knowledge — every
+// node knows its own degree, and the root learns the degree distribution
+// once during setup — so it costs no simulated communication per query.
+func (nw *Network) degreeIndex() *rw.DegreeIndex {
+	if nw.degIdx == nil {
+		nw.degIdx = rw.NewDegreeIndex(nw.g)
+	}
+	return nw.degIdx
 }
 
 // checkVertex validates a vertex index against the network size.

@@ -1,6 +1,11 @@
 package congest
 
-import "math"
+import (
+	"math"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rw"
+)
 
 // key orders nodes by (x value, id) — the deterministic tie-break both
 // engines share. The paper instead perturbs x_u by a tiny random value to
@@ -134,4 +139,194 @@ func (nw *Network) selectKSmallest(t *Tree, covered []int32, x []float64, k int)
 	// 256 iterations bound the bisection of a 64-bit float range plus a
 	// 32-bit id range many times over; reaching this is a bug.
 	return key{}, 0, false
+}
+
+// selectKSmallestIndexed is selectKSmallest for the whole-graph case (the
+// BFS tree covers every vertex, so the off-support population is exactly the
+// complement of the walk's support): on-support nodes are aggregated by an
+// O(support) scan of their precomputed x-values and off-support nodes answer
+// the root from the degree index (rw.OffSupportStream) — their x_u = d(u)/µ'
+// depends on their degree alone, so the per-iteration aggregate costs
+// O(support + log²n) instead of a scan over every covered node. The
+// communication accounting is unchanged (one broadcast + one convergecast
+// per iteration) and the search visits exactly the same iteration sequence
+// as the covered-node scan, because every aggregate the bisection branches
+// on (count-≤, max-≤, min->) ranges over the same key set.
+//
+// The returned sum is the canonical mixing sum (rw.MixingSum): on-support
+// terms accumulated in ascending vertex order plus the off-support tail as
+// one exact integer degree sum divided by µ' — the same summation the
+// in-memory sweeps use, computed here without enumerating a single
+// off-support node. support must be ascending, xsup its per-vertex x-values,
+// off prepared for this support with µ' = muPrime > 0, and size the
+// candidate set size (k = size nodes are selected).
+func (nw *Network) selectKSmallestIndexed(t *Tree, support []int32, xsup []float64, off *rw.OffSupportStream, muPrime float64, size int) (key, float64, bool) {
+	n := nw.g.NumVertices()
+	k := size
+	if k <= 0 || k > n {
+		return key{}, 0, false
+	}
+	nOff := off.Len()
+	offKey := func(j int) key {
+		x, id := off.KeyAt(j)
+		return key{x: x, id: id}
+	}
+	sumLe := func(threshold key) float64 {
+		onSum := 0.0
+		for i, v := range support {
+			kk := key{x: xsup[i], id: v}
+			if keyLess(kk, threshold) || kk == threshold {
+				onSum += xsup[i]
+			}
+		}
+		cOff := off.CountLE(threshold.x, threshold.id)
+		return rw.MixingSum(onSum, off.PrefixDeg(cOff), cOff, muPrime, size)
+	}
+	// The explicit keys live in a shrinking in-bracket working set: a key
+	// that falls outside the search bracket [lo, hi] keeps its
+	// classification for the rest of the search, so it is folded into
+	// running summaries (count and maximum of the keys ≤ lo, minimum of the
+	// keys > hi) and never scanned again. Every iteration therefore scans
+	// only the keys the bisection is still uncertain about — geometrically
+	// fewer each time — while computing aggregates identical to a full scan.
+	ents := nw.selKeys[:0]
+	for i, v := range support {
+		ents = append(ents, key{x: xsup[i], id: v})
+	}
+	defer func() { nw.selKeys = ents[:0] }()
+	cntBelow := 0
+	maxBelow, minAbove := minusInfKey, plusInfKey
+	// Initial convergecast: global (min, max) of the keys.
+	nw.Convergecast(t)
+	lo, hi := plusInfKey, minusInfKey
+	for _, kk := range ents {
+		if keyLess(kk, lo) {
+			lo = kk
+		}
+		if keyLess(hi, kk) {
+			hi = kk
+		}
+	}
+	if nOff > 0 {
+		if kk := offKey(0); keyLess(kk, lo) {
+			lo = kk
+		}
+		if kk := offKey(nOff - 1); keyLess(hi, kk) {
+			hi = kk
+		}
+	}
+	if k == n {
+		// Every node is selected; one more convergecast ships the sum.
+		nw.Convergecast(t)
+		return hi, sumLe(hi), true
+	}
+	for iter := 0; iter < 256; iter++ {
+		if nw.interrupted() != nil {
+			return key{}, 0, false
+		}
+		if lo == hi {
+			nw.Broadcast(t)
+			nw.Convergecast(t)
+			cnt := cntBelow + off.CountLE(lo.x, lo.id)
+			for _, kk := range ents {
+				if keyLess(kk, lo) || kk == lo {
+					cnt++
+				}
+			}
+			if cnt != k {
+				// Cannot happen with distinct keys; guard against misuse.
+				return key{}, 0, false
+			}
+			return lo, sumLe(lo), true
+		}
+		mid := midKey(lo, hi)
+		nw.Broadcast(t)
+		nw.Convergecast(t)
+		// Aggregate: retired keys contribute through their summaries (mid ≥
+		// lo ≥ every retired below-key, and every retired above-key > hi ≥
+		// mid, so the summaries are exact stand-ins for scanning them).
+		cIn := 0
+		maxLe, minGt := maxBelow, minAbove
+		for _, kk := range ents {
+			if keyLess(kk, mid) || kk == mid {
+				cIn++
+				if keyLess(maxLe, kk) {
+					maxLe = kk
+				}
+			} else if keyLess(kk, minGt) {
+				minGt = kk
+			}
+		}
+		cOff := off.CountLE(mid.x, mid.id)
+		countLe := cntBelow + cIn + cOff
+		if cOff > 0 {
+			if kk := offKey(cOff - 1); keyLess(maxLe, kk) {
+				maxLe = kk
+			}
+		}
+		if cOff < nOff {
+			if kk := offKey(cOff); keyLess(kk, minGt) {
+				minGt = kk
+			}
+		}
+		switch {
+		case countLe == k:
+			return maxLe, sumLe(maxLe), true
+		case countLe > k:
+			hi = maxLe
+			w := 0
+			for _, kk := range ents {
+				if keyLess(hi, kk) {
+					if keyLess(kk, minAbove) {
+						minAbove = kk
+					}
+					continue
+				}
+				ents[w] = kk
+				w++
+			}
+			ents = ents[:w]
+		default:
+			lo = minGt
+			w := 0
+			for _, kk := range ents {
+				if keyLess(lo, kk) {
+					ents[w] = kk
+					w++
+					continue
+				}
+				cntBelow++
+				if keyLess(maxBelow, kk) {
+					maxBelow = kk
+				}
+			}
+			ents = ents[:w]
+		}
+	}
+	// See the iteration bound note on selectKSmallest.
+	return key{}, 0, false
+}
+
+// canonicalCoveredSum folds the keys ≤ threshold into the canonical mixing
+// sum shared with the in-memory sweeps (rw.MixingSum): on-support terms
+// individually in ascending vertex order, the off-support tail as one exact
+// integer degree sum. The covered-scan selection path uses it so that both
+// selection implementations — and both engines — decide the mixing condition
+// on bit-identical sums.
+func canonicalCoveredSum(g *graph.Graph, p rw.Dist, covered []int32, x []float64, threshold key, muPrime float64, size int) float64 {
+	onSum := 0.0
+	var offDeg int64
+	offCount := 0
+	for _, v := range covered {
+		kk := key{x: x[v], id: v}
+		if keyLess(kk, threshold) || kk == threshold {
+			if p[v] != 0 {
+				onSum += x[v]
+			} else {
+				offDeg += int64(g.Degree(int(v)))
+				offCount++
+			}
+		}
+	}
+	return rw.MixingSum(onSum, offDeg, offCount, muPrime, size)
 }

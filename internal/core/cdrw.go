@@ -40,12 +40,13 @@ type config struct {
 	observer   func(StepTiming)
 
 	// Unified-surface fields (see options.go).
-	engine      Engine
-	communities int             // parallel engine's r estimate (0 = unset)
-	workers     int             // congest per-round parallelism
-	treeDepth   int             // congest BFS depth limit (negative = unbounded)
-	congest     *congest.Config // WithCongest escape hatch, used verbatim
-	detObs      func(Detection) // WithDetectionObserver streaming callback
+	engine       Engine
+	communities  int             // parallel engine's r estimate (0 = unset)
+	workers      int             // congest per-round parallelism
+	treeDepth    int             // congest BFS depth limit (negative = unbounded)
+	congestBatch int             // congest batched-pool size (≤ 1 = sequential)
+	congest      *congest.Config // WithCongest escape hatch, used verbatim
+	detObs       func(Detection) // WithDetectionObserver streaming callback
 }
 
 // Option customises a CDRW run.
@@ -139,14 +140,15 @@ func defaultConfig(n int) config {
 		logN = 1
 	}
 	return config{
-		delta:     DefaultDelta,
-		minSize:   logN,
-		maxLen:    4*logN + 4,
-		patience:  1,
-		seed:      1,
-		engine:    EngineReference,
-		workers:   1,
-		treeDepth: -1,
+		delta:        DefaultDelta,
+		minSize:      logN,
+		maxLen:       4*logN + 4,
+		patience:     1,
+		seed:         1,
+		engine:       EngineReference,
+		workers:      1,
+		treeDepth:    -1,
+		congestBatch: 1,
 	}
 }
 
@@ -228,6 +230,9 @@ func (c *config) validate(n int) error {
 	}
 	if c.workers < 1 {
 		return fmt.Errorf("core: congest workers %d must be positive", c.workers)
+	}
+	if c.congestBatch < 0 {
+		return fmt.Errorf("core: negative congest batch size %d", c.congestBatch)
 	}
 	return nil
 }

@@ -47,6 +47,17 @@ type Detector struct {
 	eng *rw.WalkEngine
 	trk communityTracker
 
+	// Parallel-engine state, retained across runs: the batch walk engine is
+	// Reset(seeds) instead of rebuilt, and the trackers, seed-drawing and
+	// overlap-resolution scratch rewind in place.
+	parBatch    *rw.BatchWalkEngine
+	parTrackers []*communityTracker
+	parSeeds    []int
+	parBlocked  []bool
+	parFree     []int
+	parErrs     []error
+	parOwner    []int
+
 	// Pool-loop scratch, retained.
 	assigned []bool
 	pool     []int
@@ -203,8 +214,18 @@ func (d *Detector) Detect(ctx context.Context) (*Result, error) {
 	case EngineCongest:
 		nw := d.network()
 		before := nw.Metrics()
+		ccfg := d.congestConfig()
+		if ccfg.Batch > 1 {
+			// Batched pool loop (WithCongestBatch): the distributed engine
+			// owns the super-step schedule, so run its Detect wholesale and
+			// emit the frozen detections afterwards (like the parallel
+			// engine, communities are only final per super-step).
+			res, err := d.detectCongestBatched(ctx, ccfg)
+			d.noteCongest(before)
+			return res, err
+		}
 		res, err := d.detectPool(ctx, func(ctx context.Context, s int) ([]int, CommunityStats, bool, error) {
-			out, cstats, err := congest.DetectCommunityContext(ctx, nw, s, d.congestConfig())
+			out, cstats, err := congest.DetectCommunityContext(ctx, nw, s, ccfg)
 			return out, coreStats(cstats), true, err
 		})
 		d.noteCongest(before)
@@ -219,6 +240,26 @@ func (d *Detector) Detect(ctx context.Context) (*Result, error) {
 			return out, stats, false, err
 		})
 	}
+}
+
+// detectCongestBatched runs the distributed engine's batched pool loop and
+// projects its result onto the unified shape, emitting each detection to the
+// observer/stream hooks in pool order.
+func (d *Detector) detectCongestBatched(ctx context.Context, ccfg congest.Config) (*Result, error) {
+	cres, err := congest.DetectContext(ctx, d.network(), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Detections: make([]Detection, len(cres.Detections))}
+	for i, det := range cres.Detections {
+		res.Detections[i] = Detection{Raw: det.Raw, Assigned: det.Assigned, Stats: coreStats(det.Stats)}
+	}
+	for _, det := range res.Detections {
+		if !d.emit(det) {
+			return res, errStreamStop
+		}
+	}
+	return res, nil
 }
 
 // noteCongest records the metrics delta of the congest run that started at

@@ -298,7 +298,8 @@ func TestSettingsCongestTranslation(t *testing.T) {
 	s, err := Resolve(1000,
 		WithDelta(0.25), WithMinCommunitySize(7), WithMaxWalkLength(33),
 		WithPatience(2), WithSeed(99), WithCongestWorkers(3),
-		WithTreeDepthLimit(12), WithMixingThreshold(0.2), WithGrowthFactor(1.5))
+		WithTreeDepthLimit(12), WithMixingThreshold(0.2), WithGrowthFactor(1.5),
+		WithCongestBatch(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestSettingsCongestTranslation(t *testing.T) {
 	want := congest.Config{
 		Delta: 0.25, MinCommunitySize: 7, MaxWalkLength: 33, Patience: 2,
 		Seed: 99, Workers: 3, TreeDepthLimit: 12,
-		MixingThreshold: 0.2, GrowthFactor: 1.5,
+		MixingThreshold: 0.2, GrowthFactor: 1.5, Batch: 6,
 	}
 	if got != want {
 		t.Fatalf("translated config %+v, want %+v", got, want)

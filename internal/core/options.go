@@ -92,6 +92,17 @@ func WithTreeDepthLimit(d int) Option {
 	return func(c *config) { c.treeDepth = d }
 }
 
+// WithCongestBatch sets how many seed walks the CONGEST engine's pool loop
+// advances in shared communication rounds per super-step
+// (congest.Config.Batch); values ≤ 1 keep the sequential one-seed-at-a-time
+// loop. Batching never changes the emitted detections — every walk stays
+// bit-identical to a sequential run of its seed — it reduces the simulated
+// round count (shared rounds cost max, not sum, over the batch) at the price
+// of speculative messages. Ignored by the in-memory engines.
+func WithCongestBatch(b int) Option {
+	return func(c *config) { c.congestBatch = b }
+}
+
 // WithCongest is the escape hatch to the full distributed knob set: the
 // given congest.Config is used verbatim by the CONGEST engine, overriding
 // every translated shared option (including Delta and Seed). Use the shared
@@ -155,9 +166,11 @@ type Settings struct {
 	DenseSweep       bool
 	// Communities is the parallel engine's r estimate (0 when unset).
 	Communities int
-	// CongestWorkers and TreeDepthLimit are the CONGEST engine's knobs.
+	// CongestWorkers, TreeDepthLimit and CongestBatch are the CONGEST
+	// engine's knobs.
 	CongestWorkers int
 	TreeDepthLimit int
+	CongestBatch   int
 }
 
 // Resolve applies opts over the defaults for an n-vertex graph and returns
@@ -196,6 +209,7 @@ func (c *config) snapshot() Settings {
 		Communities:      c.communities,
 		CongestWorkers:   c.workers,
 		TreeDepthLimit:   c.treeDepth,
+		CongestBatch:     c.congestBatch,
 	}
 }
 
@@ -204,10 +218,10 @@ func (c *config) snapshot() Settings {
 // option sets stay distinguishable after the fact.
 func (s Settings) Fingerprint() string {
 	return fmt.Sprintf(
-		"engine=%s delta=%g R=%d L=%d patience=%d seed=%d threshold=%.6g growth=%.6g dense-sweep=%t r=%d workers=%d tree-depth=%d",
+		"engine=%s delta=%g R=%d L=%d patience=%d seed=%d threshold=%.6g growth=%.6g dense-sweep=%t r=%d workers=%d tree-depth=%d congest-batch=%d",
 		s.Engine, s.Delta, s.MinCommunitySize, s.MaxWalkLength, s.Patience,
 		s.Seed, s.MixingThreshold, s.GrowthFactor, s.DenseSweep,
-		s.Communities, s.CongestWorkers, s.TreeDepthLimit)
+		s.Communities, s.CongestWorkers, s.TreeDepthLimit, s.CongestBatch)
 }
 
 // CongestConfig translates the shared option set into the distributed
@@ -226,5 +240,6 @@ func (s Settings) CongestConfig() congest.Config {
 		TreeDepthLimit:   s.TreeDepthLimit,
 		MixingThreshold:  s.MixingThreshold,
 		GrowthFactor:     s.GrowthFactor,
+		Batch:            s.CongestBatch,
 	}
 }

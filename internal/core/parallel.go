@@ -66,15 +66,18 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 	cfg := d.cfg
 	cfg.mix.Interrupt = sctx.Err
 
-	// Draw spread-out seeds.
-	seeds := make([]int, 0, r)
-	blocked := make([]bool, n)
-	candidates := make([]int, n)
-	for v := range candidates {
-		candidates[v] = v
+	// Draw spread-out seeds, reusing the detector's scratch.
+	if cap(d.parBlocked) < n {
+		d.parBlocked = make([]bool, n)
+		d.parFree = make([]int, 0, n)
+	}
+	seeds := d.parSeeds[:0]
+	blocked := d.parBlocked[:n]
+	for v := range blocked {
+		blocked[v] = false
 	}
 	for len(seeds) < r {
-		free := candidates[:0]
+		free := d.parFree[:0]
 		for v := 0; v < n; v++ {
 			if !blocked[v] {
 				free = append(free, v)
@@ -91,21 +94,38 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 			blocked[v] = true
 		}
 	}
+	d.parSeeds = seeds
 
 	// Detect all seeds' communities in lockstep: per walk length, one
 	// goroutine per live walk advances that walk and runs its mixing-set
 	// search. Each walk's arithmetic and stop rule are exactly
 	// DetectCommunity's, so the outcome per seed is identical to running
-	// the seeds one by one.
-	batch, err := rw.NewBatchWalkEngineWithIndex(g, seeds, d.degreeIndex())
-	if err != nil {
+	// the seeds one by one. The batch engine and trackers are retained by
+	// the detector: repeat runs Reset them instead of rebuilding.
+	if d.parBatch == nil {
+		batch, err := rw.NewBatchWalkEngineWithIndex(g, seeds, d.degreeIndex())
+		if err != nil {
+			return nil, err
+		}
+		d.parBatch = batch
+	} else if err := d.parBatch.Reset(seeds); err != nil {
 		return nil, err
 	}
-	trackers := make([]*communityTracker, r)
-	for i, s := range seeds {
-		trackers[i] = newCommunityTracker(&cfg, s)
+	batch := d.parBatch
+	for len(d.parTrackers) < r {
+		d.parTrackers = append(d.parTrackers, &communityTracker{})
 	}
-	errs := make([]error, r)
+	trackers := d.parTrackers[:r]
+	for i, s := range seeds {
+		trackers[i].reset(&cfg, s)
+	}
+	if cap(d.parErrs) < r {
+		d.parErrs = make([]error, r)
+	}
+	errs := d.parErrs[:r]
+	for i := range errs {
+		errs[i] = nil
+	}
 	for l := 1; l <= cfg.maxLen && batch.Active() > 0; l++ {
 		var wg sync.WaitGroup
 		for i := range trackers {
@@ -187,21 +207,27 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	// Resolve overlaps: earlier seed index wins.
-	owner := make([]int, n)
+	// Resolve overlaps: earlier seed index wins. Raw is copied out of the
+	// tracker (its buffer rewinds on the detector's next run); Result slices
+	// stay safe to retain, per the Detector contract.
+	if cap(d.parOwner) < n {
+		d.parOwner = make([]int, n)
+	}
+	owner := d.parOwner[:n]
 	for v := range owner {
 		owner[v] = -1
 	}
 	res := &Result{Detections: make([]Detection, r)}
 	for i, t := range trackers {
-		kept := make([]int, 0, len(t.outSet))
-		for _, v := range t.outSet {
+		raw := append([]int(nil), t.outSet...)
+		kept := make([]int, 0, len(raw))
+		for _, v := range raw {
 			if owner[v] < 0 {
 				owner[v] = i
 				kept = append(kept, v)
 			}
 		}
-		res.Detections[i] = Detection{Raw: t.outSet, Assigned: kept, Stats: t.stats}
+		res.Detections[i] = Detection{Raw: raw, Assigned: kept, Stats: t.stats}
 	}
 
 	// Attach unclaimed vertices by neighbour majority (repeat until stable

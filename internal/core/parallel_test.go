@@ -1,10 +1,81 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"cdrw/internal/metrics"
 )
+
+// TestDetectorParallelReuse: repeat Detect runs on one parallel-engine
+// Detector (which Resets its retained batch engine and trackers instead of
+// rebuilding them) return results identical to fresh Detectors, and earlier
+// Results stay intact after later runs — Raw/Assigned must not alias the
+// retained tracker buffers.
+func TestDetectorParallelReuse(t *testing.T) {
+	ppm := ppmGraph(t, 256, 4, 2, 0.1, 51)
+	opts := []Option{
+		WithDelta(ppm.Config.ExpectedConductance()), WithSeed(3),
+		WithEngine(EngineParallel), WithCommunityEstimate(4),
+	}
+	d, err := NewDetector(ppm.Graph, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := d.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := func(a, b []Detection) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		ints := func(x, y []int) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range a {
+			if !ints(a[i].Raw, b[i].Raw) || !ints(a[i].Assigned, b[i].Assigned) ||
+				!reflect.DeepEqual(a[i].Stats, b[i].Stats) {
+				return false
+			}
+		}
+		return true
+	}
+	snapshot := make([]Detection, len(first.Detections))
+	for i, det := range first.Detections {
+		snapshot[i] = Detection{
+			Raw:      append([]int(nil), det.Raw...),
+			Assigned: append([]int(nil), det.Assigned...),
+			Stats:    det.Stats,
+		}
+	}
+	for run := 0; run < 3; run++ {
+		again, err := d.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := DetectParallel(ppm.Graph, 4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq(again.Detections, fresh.Detections) {
+			t.Fatalf("run %d: reused detector diverged from a fresh one", run)
+		}
+	}
+	if !eq(first.Detections, snapshot) {
+		t.Fatal("first Result mutated by later runs: tracker buffers leaked into it")
+	}
+}
 
 func TestDetectParallelPartitions(t *testing.T) {
 	ppm := ppmGraph(t, 256, 4, 2, 0.1, 51)

@@ -79,6 +79,58 @@ func CongestRounds(cfg Config) (*Figure, error) {
 	return fig, nil
 }
 
+// CongestBatchRounds measures the batched CONGEST pool loop: total rounds
+// and messages of a full Detect as the batch size grows, batch 1 being the
+// sequential one-seed-at-a-time loop. The emitted detections are
+// bit-identical at every batch size (the conformance suite enforces this);
+// the figure shows the trade the batching buys — shared rounds shrink the
+// round count by up to the batch factor while speculative walks can add
+// messages.
+func CongestBatchRounds(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	s := 256
+	if cfg.Quick {
+		s = 96
+	}
+	const r = 4
+	sf := float64(s)
+	gcfg := gen.PPMConfig{N: r * s, R: r, P: 2 * gen.Log2(s) / sf, Q: 0.1 / sf}
+	ppm, err := gen.NewPPM(gcfg, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Name:   "congest-batch",
+		Title:  fmt.Sprintf("batched CONGEST pool loop (n=%d, r=%d)", r*s, r),
+		XLabel: "batch",
+		YLabel: "rounds / messages",
+	}
+	var rounds, msgs Series
+	rounds.Label = "rounds"
+	msgs.Label = "messages"
+	for _, batch := range []int{1, 2, 4, 8} {
+		nw := congest.NewNetwork(ppm.Graph, 1)
+		ccfg := congest.DefaultConfig(r * s)
+		ccfg.Delta = gcfg.ExpectedConductance()
+		ccfg.Batch = batch
+		res, err := congest.Detect(nw, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("congest-batch b=%d: %w", batch, err)
+		}
+		if batch == 1 {
+			// The stamp records the baseline; the X axis carries the sweep.
+			fig.stamp(r*s, core.WithEngine(core.EngineCongest),
+				core.WithDelta(ccfg.Delta), core.WithSeed(ccfg.Seed))
+		}
+		rounds.X = append(rounds.X, float64(batch))
+		rounds.Y = append(rounds.Y, float64(res.Metrics.Rounds))
+		msgs.X = append(msgs.X, float64(batch))
+		msgs.Y = append(msgs.Y, float64(res.Metrics.Messages))
+	}
+	fig.Series = []Series{rounds, msgs}
+	return fig, nil
+}
+
 // KMachineScaling validates §III-B empirically: the k-machine round count
 // of one CDRW community as the number of machines k grows, against the
 // Conversion Theorem reference Õ(M/k² + ∆T/k).
@@ -116,7 +168,9 @@ func KMachineScaling(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		nw := congest.NewNetwork(ppm.Graph, 1)
-		nw.SetObserver(sim.Observer())
+		// The load observer is the conversion's fast path; it sees the same
+		// rounds as the per-message observer, as per-link aggregates.
+		nw.SetLoadObserver(sim.LoadObserver())
 		ccfg := congest.DefaultConfig(r * s)
 		ccfg.Delta = gcfg.ExpectedConductance()
 		_, stats, err := congest.DetectCommunity(nw, 0, ccfg)

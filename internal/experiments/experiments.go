@@ -140,6 +140,11 @@ type Config struct {
 	// zero value is the reference engine). The complexity figures are
 	// engine-specific by nature and ignore it.
 	Engine core.Engine
+	// CongestBatch batches the CONGEST engine's pool loop (values ≤ 1 keep
+	// the sequential loop); it reaches every congest-engine detection run
+	// and is stamped into the figures' option fingerprints, so JSON records
+	// of batched and sequential runs stay distinguishable.
+	CongestBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +170,9 @@ func detectOpts(ec Config, cfg gen.PPMConfig, seed uint64) []core.Option {
 	}
 	if ec.Engine == core.EngineParallel {
 		opts = append(opts, core.WithCommunityEstimate(cfg.R))
+	}
+	if ec.Engine == core.EngineCongest && ec.CongestBatch > 1 {
+		opts = append(opts, core.WithCongestBatch(ec.CongestBatch))
 	}
 	return opts
 }

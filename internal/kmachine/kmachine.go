@@ -98,7 +98,10 @@ func NewSimulator(assign Assignment, bandwidth int) (*Simulator, error) {
 	}, nil
 }
 
-// Observer returns the congest.RoundObserver to install on the network.
+// Observer returns a congest.RoundObserver consuming one Traffic entry per
+// message. Prefer LoadObserver, which consumes per-link aggregates and is
+// what Run installs; this per-message view remains as the reference
+// implementation the aggregate path is equivalence-tested against.
 func (s *Simulator) Observer() congest.RoundObserver {
 	return func(round int, msgs []congest.Traffic) {
 		s.res.CongestRounds++
@@ -116,34 +119,79 @@ func (s *Simulator) Observer() congest.RoundObserver {
 			}
 			s.loads[idx]++
 		}
-		var maxLoad int64
-		for _, idx := range s.touched {
-			if s.loads[idx] > maxLoad {
-				maxLoad = s.loads[idx]
-			}
-			s.loads[idx] = 0
-		}
-		s.touched = s.touched[:0]
-		if maxLoad > s.res.MaxLinkLoad {
-			s.res.MaxLinkLoad = maxLoad
-		}
-		s.res.Rounds += (maxLoad + int64(s.b) - 1) / int64(s.b)
+		s.closeRound()
 	}
+}
+
+// LoadObserver returns the congest.LoadObserver to install on the network
+// (Network.SetLoadObserver): the fused fast path of the conversion. Each
+// round arrives as per-link aggregate word counts — in a batched CONGEST
+// execution one entry stands for a whole batch's words on that link — so the
+// per-machine-link prefix sums behind Results.Rounds and MaxLinkLoad cost
+// one home lookup per link instead of one per word, and no Traffic entries
+// are ever materialised. Results are identical to the Observer path on the
+// same execution.
+func (s *Simulator) LoadObserver() congest.LoadObserver {
+	return func(round int, loads []congest.LinkLoad) {
+		s.res.CongestRounds++
+		for _, ld := range loads {
+			w := int64(ld.Words)
+			s.res.TotalMessages += w
+			mi := s.assign.Home[ld.From]
+			mj := s.assign.Home[ld.To]
+			if mi == mj {
+				continue // co-located endpoints: free
+			}
+			s.res.CrossMessages += w
+			idx := mi*s.assign.K + mj
+			if s.loads[idx] == 0 {
+				s.touched = append(s.touched, idx)
+			}
+			s.loads[idx] += w
+		}
+		s.closeRound()
+	}
+}
+
+// closeRound folds the round's per-link loads into the conversion: the most
+// congested machine link costs ⌈load/B⌉ k-machine rounds (Conversion
+// Theorem, part a).
+func (s *Simulator) closeRound() {
+	var maxLoad int64
+	for _, idx := range s.touched {
+		if s.loads[idx] > maxLoad {
+			maxLoad = s.loads[idx]
+		}
+		s.loads[idx] = 0
+	}
+	s.touched = s.touched[:0]
+	if maxLoad > s.res.MaxLinkLoad {
+		s.res.MaxLinkLoad = maxLoad
+	}
+	s.res.Rounds += (maxLoad + int64(s.b) - 1) / int64(s.b)
 }
 
 // Results returns the accumulated conversion results.
 func (s *Simulator) Results() Results { return s.res }
 
-// Run installs the simulator's observer on nw for the duration of one
+// Run installs the simulator's load observer on nw for the duration of one
 // ctx-aware runner — typically a closure over congest.DetectContext or
-// congest.DetectCommunityContext — restoring whatever observer was
-// installed before, and forwards ctx so the observed execution is
-// cancellable. Conversion results accumulate across Run calls; read them
-// with Results.
+// congest.DetectCommunityContext — and forwards ctx so the observed
+// execution is cancellable. Any observer installed before (load or
+// per-message Traffic) is suspended for the run and restored afterwards:
+// historically Run installed the Traffic observer, and leaving a caller's
+// sim.Observer() active alongside the load observer would fold every round
+// into the results twice. Conversion results accumulate across Run calls;
+// read them with Results.
 func (s *Simulator) Run(ctx context.Context, nw *congest.Network, run func(context.Context) error) error {
-	prev := nw.Observer()
-	nw.SetObserver(s.Observer())
-	defer nw.SetObserver(prev)
+	prevLoad := nw.LoadObserver()
+	prevMsg := nw.Observer()
+	nw.SetLoadObserver(s.LoadObserver())
+	nw.SetObserver(nil)
+	defer func() {
+		nw.SetLoadObserver(prevLoad)
+		nw.SetObserver(prevMsg)
+	}()
 	return run(ctx)
 }
 

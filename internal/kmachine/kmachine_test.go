@@ -1,6 +1,7 @@
 package kmachine
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -107,6 +108,144 @@ func TestLocalRoundsAreFree(t *testing.T) {
 	}
 	if res.CrossMessages != 0 {
 		t.Fatalf("cross messages = %d, want 0", res.CrossMessages)
+	}
+}
+
+// TestLoadObserverMatchesTraffic: the aggregate-consuming fast path must
+// produce identical Results to the per-message reference on the same rounds,
+// including multi-word loads standing for whole batches.
+func TestLoadObserverMatchesTraffic(t *testing.T) {
+	assign := Assignment{Home: []int{0, 0, 1, 1}, K: 2}
+	ref, err := NewSimulator(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewSimulator(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refObs, fastObs := ref.Observer(), fast.LoadObserver()
+	rounds := [][]congest.LinkLoad{
+		{{From: 0, To: 1, Words: 3}, {From: 1, To: 2, Words: 4}, {From: 2, To: 0, Words: 1}},
+		{}, // empty rounds still count
+		{{From: 0, To: 2, Words: 2}, {From: 0, To: 2, Words: 5}, {From: 3, To: 1, Words: 1}},
+	}
+	for i, loads := range rounds {
+		var msgs []congest.Traffic
+		for _, ld := range loads {
+			for w := int32(0); w < ld.Words; w++ {
+				msgs = append(msgs, congest.Traffic{From: ld.From, To: ld.To})
+			}
+		}
+		refObs(i+1, msgs)
+		fastObs(i+1, loads)
+	}
+	if ref.Results() != fast.Results() {
+		t.Fatalf("load observer diverged: %+v vs reference %+v", fast.Results(), ref.Results())
+	}
+}
+
+// TestLoadObserverEndToEndMatchesTraffic: converting one CONGEST detection
+// through the load observer gives the same Results as the per-message
+// observer, and the batched execution converts to no more k-machine rounds.
+func TestLoadObserverEndToEndMatchesTraffic(t *testing.T) {
+	cfgGen := gen.PPMConfig{N: 256, R: 2, P: 2 * gen.Log2(128) / 128, Q: 0.1 / 128}
+	ppm, err := gen.NewPPM(cfgGen, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := RandomVertexPartition(256, 4, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := congest.DefaultConfig(256)
+	ccfg.Delta = cfgGen.ExpectedConductance()
+	runDetect := func(install func(nw *congest.Network, sim *Simulator)) Results {
+		sim, err := NewSimulator(assign, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := congest.NewNetwork(ppm.Graph, 1)
+		install(nw, sim)
+		if _, _, err := congest.DetectCommunity(nw, 0, ccfg); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Results()
+	}
+	ref := runDetect(func(nw *congest.Network, sim *Simulator) { nw.SetObserver(sim.Observer()) })
+	fast := runDetect(func(nw *congest.Network, sim *Simulator) { nw.SetLoadObserver(sim.LoadObserver()) })
+	if ref != fast {
+		t.Fatalf("end-to-end conversion differs: load %+v vs traffic %+v", fast, ref)
+	}
+
+	// Batched CONGEST walks convert in fewer k-machine rounds than the same
+	// walks run one at a time: the per-round max link load grows sublinearly
+	// in the batch while the round count drops by the batch factor.
+	seeds := []int{0, 128, 64, 200}
+	seqSim, err := NewSimulator(assign, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := congest.NewNetwork(ppm.Graph, 1)
+	nw.SetLoadObserver(seqSim.LoadObserver())
+	for _, s := range seeds {
+		if _, _, err := congest.DetectCommunity(nw, s, ccfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batSim, err := NewSimulator(assign, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2 := congest.NewNetwork(ppm.Graph, 1)
+	nw2.SetLoadObserver(batSim.LoadObserver())
+	if _, err := congest.DetectBatch(nw2, seeds, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	seq, bat := seqSim.Results(), batSim.Results()
+	if bat.TotalMessages != seq.TotalMessages {
+		t.Fatalf("batched conversion saw %d messages, sequential %d", bat.TotalMessages, seq.TotalMessages)
+	}
+	if bat.CongestRounds >= seq.CongestRounds {
+		t.Fatalf("batched conversion saw %d CONGEST rounds, sequential %d", bat.CongestRounds, seq.CongestRounds)
+	}
+	if bat.Rounds >= seq.Rounds {
+		t.Fatalf("batched conversion took %d k-machine rounds, sequential %d", bat.Rounds, seq.Rounds)
+	}
+}
+
+// TestRunSuspendsInstalledObservers: Run must not leave a caller-installed
+// per-message observer active alongside its own load observer — that would
+// fold every round into the results twice — and must restore both observers
+// afterwards.
+func TestRunSuspendsInstalledObservers(t *testing.T) {
+	g, err := gen.Gnp(64, 0.2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := RandomVertexPartition(64, 2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := congest.NewNetwork(g, 1)
+	// The pre-Run idiom: the caller wired the Traffic observer themselves.
+	nw.SetObserver(sim.Observer())
+	err = sim.Run(context.Background(), nw, func(ctx context.Context) error {
+		_, _, err := congest.DetectCommunityContext(ctx, nw, 0, congest.DefaultConfig(64))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sim.Results().CongestRounds, nw.Metrics().Rounds; got != want {
+		t.Fatalf("conversion saw %d rounds for %d simulated — observers double-counted", got, want)
+	}
+	if nw.Observer() == nil || nw.LoadObserver() != nil {
+		t.Fatal("Run did not restore the observers it suspended")
 	}
 }
 

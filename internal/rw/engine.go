@@ -229,6 +229,7 @@ func (e *WalkEngine) LargestMixingSet(minSize int, opt MixOptions) (MixingSet, e
 // scales where one walk's arrays outgrow the cache, the fused pass wins.
 type BatchWalkEngine struct {
 	g       *graph.Graph
+	idx     *DegreeIndex // shared by every walk's sparse sweep
 	walks   []*WalkEngine
 	halted  []bool
 	fused   bool
@@ -253,6 +254,7 @@ func NewBatchWalkEngine(g *graph.Graph, sources []int) (*BatchWalkEngine, error)
 func NewBatchWalkEngineWithIndex(g *graph.Graph, sources []int, idx *DegreeIndex) (*BatchWalkEngine, error) {
 	b := &BatchWalkEngine{
 		g:       g,
+		idx:     idx,
 		walks:   make([]*WalkEngine, len(sources)),
 		halted:  make([]bool, len(sources)),
 		inBatch: make([]bool, len(sources)),
@@ -265,6 +267,61 @@ func NewBatchWalkEngineWithIndex(g *graph.Graph, sources []int, idx *DegreeIndex
 		b.walks[i] = e
 	}
 	return b, nil
+}
+
+// Reset reloads the batch with fresh point-source walks, one per source,
+// reusing every per-walk engine and buffer it already holds: a long-lived
+// caller (core's parallel engine) runs detection after detection on one
+// batch engine instead of rebuilding it per run. The batch may grow or
+// shrink; new walks share the existing degree index. Walks resume unfused
+// and unhalted (SetFused state is kept, so fused batches re-fuse as their
+// walks go dense). On an out-of-range source the batch is left unusable for
+// stepping but safe to Reset again.
+func (b *BatchWalkEngine) Reset(sources []int) error {
+	n := b.g.NumVertices()
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return fmt.Errorf("rw: source %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
+		}
+	}
+	if len(sources) != len(b.walks) && b.pAll != nil {
+		// The interleaved store's stride is the walk count; realloc lazily.
+		b.pAll, b.nextAll = nil, nil
+	}
+	// Resize by reslicing up to capacity, so engines built for an earlier,
+	// larger batch survive a shrink and are found again on the next grow;
+	// only never-before-seen slots allocate.
+	for cap(b.walks) < len(sources) {
+		b.walks = append(b.walks[:cap(b.walks)], nil)
+	}
+	b.walks = b.walks[:len(sources)]
+	for i := range b.walks {
+		if b.walks[i] == nil {
+			b.walks[i] = NewWalkEngineWithIndex(b.g, b.idx)
+		}
+	}
+	if cap(b.halted) < len(sources) {
+		b.halted = make([]bool, len(sources))
+	}
+	b.halted = b.halted[:len(sources)]
+	if cap(b.inBatch) < len(sources) {
+		b.inBatch = make([]bool, len(sources))
+	}
+	b.inBatch = b.inBatch[:len(sources)]
+	for i, s := range sources {
+		if b.inBatch[i] {
+			// The walk's own arrays are stale (its state lives in the
+			// interleaved store); a joined walk is always dense, so its Reset
+			// clears them fully.
+			b.inBatch[i] = false
+		}
+		if err := b.walks[i].Reset(s); err != nil {
+			return err
+		}
+		b.halted[i] = false
+	}
+	b.cols = b.cols[:0]
+	return nil
 }
 
 // LargestMixingSet runs the candidate-size sweep for walk i on its current

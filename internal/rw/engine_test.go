@@ -193,6 +193,61 @@ func TestBatchWalkEngineMatchesSolo(t *testing.T) {
 	}
 }
 
+// TestBatchWalkEngineReset: a reused batch engine — after halting, fusing,
+// and advancing walks — reloads to fresh point walks that evolve exactly
+// like a newly built engine's, including growing and shrinking the batch.
+func TestBatchWalkEngineReset(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		ppm := randomPPM(t, 41)
+		n := ppm.Graph.NumVertices()
+		batch, err := NewBatchWalkEngine(ppm.Graph, []int{0, n / 2, n - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch.SetFused(fused)
+		for step := 0; step < 8; step++ {
+			batch.Step()
+		}
+		batch.Halt(1)
+		for _, sources := range [][]int{
+			{n - 1, 0, n / 3},               // same size
+			{n / 4, 3},                      // shrink
+			{0, 1, n / 2, n - 1, 2 * n / 3}, // grow
+		} {
+			if err := batch.Reset(sources); err != nil {
+				t.Fatal(err)
+			}
+			if batch.Active() != len(sources) {
+				t.Fatalf("fused=%v: Active()=%d after Reset, want %d", fused, batch.Active(), len(sources))
+			}
+			fresh, err := NewBatchWalkEngine(ppm.Graph, sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.SetFused(fused)
+			for step := 0; step < 6; step++ {
+				batch.Step()
+				fresh.Step()
+			}
+			for i := range sources {
+				got, want := batch.Dist(i), fresh.Dist(i)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("fused=%v walk %d vertex %d: reused %g fresh %g",
+							fused, i, v, got[v], want[v])
+					}
+				}
+			}
+		}
+		if err := batch.Reset([]int{-1}); err == nil {
+			t.Fatal("Reset accepted an out-of-range source")
+		}
+		if err := batch.Reset([]int{5}); err != nil {
+			t.Fatalf("Reset after a failed Reset: %v", err)
+		}
+	}
+}
+
 // TestBatchWalkEngineStepWalkConcurrent: stepping each walk from its own
 // goroutine (the DetectParallel pattern) matches solo engines exactly.
 func TestBatchWalkEngineStepWalkConcurrent(t *testing.T) {

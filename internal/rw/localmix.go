@@ -175,6 +175,14 @@ func mixingSum(onSum float64, offDeg int64, offCount int, muPrime float64, size 
 	return onSum + float64(offDeg)/muPrime
 }
 
+// MixingSum exposes the canonical summation to the other engines: the
+// CONGEST selection folds its distributed aggregates through it so that all
+// sweep implementations — dense, sparse, and distributed — decide the mixing
+// condition on bit-identical sums.
+func MixingSum(onSum float64, offDeg int64, offCount int, muPrime float64, size int) float64 {
+	return mixingSum(onSum, offDeg, offCount, muPrime, size)
+}
+
 // denseSweepSize evaluates one candidate size of the ladder against the full
 // vertex set: x buffer of length n, returns the selected ids (ascending) and
 // the canonical mixing sum. This is the reference evaluation the sparse

@@ -1,0 +1,120 @@
+package rw
+
+import (
+	"slices"
+	"sort"
+)
+
+// OffSupportStream answers order-statistic queries over the implicit
+// off-support x-values of a walk distribution: every vertex u with p(u) = 0
+// has x_u = |0 − d(u)/µ'| = d(u)/µ', so under the sweep's (x, id) order the
+// off-support vertices form a virtual sorted stream — the graph's degree
+// order minus the support — for every µ' at once (dividing by a positive
+// constant preserves the degree order; see the collision note atop sweep.go).
+//
+// The sparse sweep (Sweeper) consumes this structure privately; the stream
+// exposes the same queries for the CONGEST engine's distributed selection,
+// where the root can answer "how many off-support nodes hold a key ≤ T, and
+// which is the largest of them" from the degree index alone instead of
+// aggregating over every covered node per binary-search iteration.
+//
+// A stream is prepared once per walk step (Reset, O(support·log support))
+// and re-targeted per candidate size (SetMu, O(1)); queries cost
+// O(log n · log support). It is not safe for concurrent use. The zero value
+// is ready for Reset.
+type OffSupportStream struct {
+	idx  *DegreeIndex
+	mu   float64
+	wpos []int32 // support positions in idx.order, ascending
+	wdeg []int64 // prefix degree sums over wpos
+}
+
+// Reset prepares the stream for a support (the vertices with p(u) ≠ 0,
+// strictly ascending), reusing the stream's buffers. The support must be a
+// subset of the index's vertex set; the off-support complement is everything
+// else.
+func (s *OffSupportStream) Reset(idx *DegreeIndex, support []int32) {
+	s.idx = idx
+	ns := len(support)
+	if cap(s.wpos) < ns {
+		s.wpos = make([]int32, 0, 2*ns)
+		s.wdeg = make([]int64, 0, 2*ns+1)
+	}
+	s.wpos = s.wpos[:0]
+	for _, v := range support {
+		s.wpos = append(s.wpos, idx.pos[v])
+	}
+	slices.Sort(s.wpos)
+	s.wdeg = append(s.wdeg[:0], 0)
+	for _, p := range s.wpos {
+		s.wdeg = append(s.wdeg, s.wdeg[len(s.wdeg)-1]+int64(idx.degs[p]))
+	}
+}
+
+// SetMu sets µ' for subsequent queries. It must be positive: on an edgeless
+// graph (µ' = 0) the off-support values collapse to the constant 1/|S| and
+// callers handle that regime themselves.
+func (s *OffSupportStream) SetMu(mu float64) { s.mu = mu }
+
+// Len returns the number of off-support vertices.
+func (s *OffSupportStream) Len() int { return len(s.idx.order) - len(s.wpos) }
+
+// posBelow counts support positions strictly below index position i.
+func (s *OffSupportStream) posBelow(i int) int {
+	lo, hi := 0, len(s.wpos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(s.wpos[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CountLE returns the number of off-support keys (d(u)/µ', u) that are ≤
+// (x, id) under the sweep's lexicographic order. The comparisons use the
+// exact d/µ' division of XValueAt, so the count agrees bit for bit with a
+// scan that materialises every off-support value.
+func (s *OffSupportStream) CountLE(x float64, id int32) int {
+	idx := s.idx
+	n := len(idx.order)
+	mu := s.mu
+	// First position whose value exceeds x; everything before is ≤ x.
+	i1 := sort.Search(n, func(i int) bool { return float64(idx.degs[i])/mu > x })
+	j := i1
+	// Among the run of positions whose value equals x exactly (one degree
+	// bucket — distinct degrees cannot collide after the division), only ids
+	// ≤ id count.
+	start := sort.Search(i1, func(i int) bool { return float64(idx.degs[i])/mu >= x })
+	if start < i1 {
+		j = start + sort.Search(i1-start, func(t int) bool { return idx.order[start+t] > id })
+	}
+	return j - s.posBelow(j)
+}
+
+// KeyAt returns the j-th smallest off-support key (0-based) as its value and
+// vertex id. j must be in [0, Len()).
+func (s *OffSupportStream) KeyAt(j int) (x float64, id int32) {
+	idx := s.idx
+	n := len(idx.order)
+	// Smallest index position i such that positions [0, i] contain j+1
+	// off-support entries; that position holds the j-th entry.
+	end := sort.Search(n, func(i int) bool { return i+1-s.posBelow(i+1) >= j+1 })
+	return float64(idx.degs[end]) / s.mu, idx.order[end]
+}
+
+// PrefixDeg returns the exact integer degree sum of the j smallest
+// off-support entries — the off-support tail of the canonical mixing sum
+// (mixingSum folds it in as one division by µ').
+func (s *OffSupportStream) PrefixDeg(j int) int64 {
+	if j == 0 {
+		return 0
+	}
+	idx := s.idx
+	n := len(idx.order)
+	end := sort.Search(n+1, func(i int) bool { return i-s.posBelow(i) >= j })
+	t := s.posBelow(end)
+	return idx.prefix[end] - s.wdeg[t]
+}

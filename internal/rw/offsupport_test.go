@@ -1,0 +1,115 @@
+package rw
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/rng"
+)
+
+// bruteOffKeys materialises the off-support (x, id) keys the stream models,
+// sorted by the sweep order.
+func bruteOffKeys(g interface {
+	NumVertices() int
+	Degree(int) int
+}, support map[int32]bool, mu float64) (xs []float64, ids []int32) {
+	n := g.NumVertices()
+	type kk struct {
+		x  float64
+		id int32
+	}
+	var keys []kk
+	for v := 0; v < n; v++ {
+		if support[int32(v)] {
+			continue
+		}
+		keys = append(keys, kk{x: math.Abs(0 - float64(g.Degree(v))/mu), id: int32(v)})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].id < keys[j].id
+	})
+	for _, k := range keys {
+		xs = append(xs, k.x)
+		ids = append(ids, k.id)
+	}
+	return xs, ids
+}
+
+// TestOffSupportStreamMatchesBruteForce: every query of the stream agrees
+// with a full materialisation of the off-support keys, across supports and
+// µ' values, including equal-degree runs and query keys sitting exactly on
+// stream values.
+func TestOffSupportStreamMatchesBruteForce(t *testing.T) {
+	g, err := gen.Gnp(160, 2*gen.Log2(160)/160, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewDegreeIndex(g)
+	r := rng.New(7)
+	var stream OffSupportStream
+	for trial := 0; trial < 20; trial++ {
+		// Random support of random size (possibly empty).
+		supSize := r.Intn(60)
+		supSet := map[int32]bool{}
+		var support []int32
+		for len(support) < supSize {
+			v := int32(r.Intn(160))
+			if !supSet[v] {
+				supSet[v] = true
+				support = append(support, v)
+			}
+		}
+		sort.Slice(support, func(i, j int) bool { return support[i] < support[j] })
+		stream.Reset(idx, support)
+		for _, size := range []int{3, 17, 80, 160} {
+			mu := MuPrime(g, size)
+			stream.SetMu(mu)
+			xs, ids := bruteOffKeys(g, supSet, mu)
+			if stream.Len() != len(xs) {
+				t.Fatalf("trial %d size %d: Len=%d, brute %d", trial, size, stream.Len(), len(xs))
+			}
+			for j := 0; j < len(xs); j++ {
+				x, id := stream.KeyAt(j)
+				if x != xs[j] || id != ids[j] {
+					t.Fatalf("trial %d size %d: KeyAt(%d) = (%v,%d), brute (%v,%d)",
+						trial, size, j, x, id, xs[j], ids[j])
+				}
+			}
+			// Exact prefix degree sums.
+			var want int64
+			for j := 0; j <= len(xs); j++ {
+				if got := stream.PrefixDeg(j); got != want {
+					t.Fatalf("trial %d size %d: PrefixDeg(%d) = %d, want %d", trial, size, j, got, want)
+				}
+				if j < len(ids) {
+					want += int64(g.Degree(int(ids[j])))
+				}
+			}
+			// CountLE at on-stream keys, between keys, below min and above max.
+			probe := func(x float64, id int32) {
+				want := 0
+				for j := range xs {
+					if xs[j] < x || (xs[j] == x && ids[j] <= id) {
+						want++
+					}
+				}
+				if got := stream.CountLE(x, id); got != want {
+					t.Fatalf("trial %d size %d: CountLE(%v,%d) = %d, want %d", trial, size, x, id, got, want)
+				}
+			}
+			probe(-1, 0)
+			probe(math.Inf(1), 1<<30)
+			for j := 0; j < len(xs); j += 7 {
+				probe(xs[j], ids[j])
+				probe(xs[j], ids[j]-1)
+				probe(xs[j], 1<<30)
+				probe(xs[j]*1.0000001, -1)
+			}
+		}
+	}
+}
