@@ -7,13 +7,19 @@ median across -count repetitions of every reported metric (ns/op plus
 custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
 
   * any benchmark whose name contains "Sparse", "DetectorReuse",
-    "CongestBatch" or "KMachineConv" regressed in an ns-valued metric (or,
-    for the CONGEST batch benchmarks, in simulated rounds/op) by more than
-    the threshold (default 20%) against the base ref, or
-  * BenchmarkDetectorReuse or BenchmarkBatchWalkEngineReuse reports a
-    non-zero allocs/op median in head — the allocation-free repeat-run
-    contracts of the Detector and of the parallel engine's batch walk
-    engine, gated absolutely (no baseline needed).
+    "CongestBatch", "KMachineConv" or "DetectorPool" regressed in an
+    ns-valued metric (or, for the CONGEST batch benchmarks, in simulated
+    rounds/op) by more than the threshold (default 20%) against the base
+    ref, or
+  * BenchmarkDetectorReuse, BenchmarkDetectorReuseDense or
+    BenchmarkBatchWalkEngineReuse reports a non-zero allocs/op median in
+    head — the allocation-free repeat-run contracts of the Detector (sparse
+    and dense sweep paths) and of the parallel engine's batch walk engine,
+    gated absolutely (no baseline needed), or
+  * BenchmarkDetectorPoolThroughput/warm serves fewer than 5x the
+    requests/s of .../fresh — the serving subsystem's acceptance bar
+    (warm-cache pooled serving vs per-request Detector construction),
+    also gated absolutely.
 
 Pass "-" as the base file to skip the regression comparison and run only
 the absolute allocation gate. Benchmarks that exist only on one side are
@@ -28,8 +34,19 @@ import sys
 
 NS_UNITS = ("ns/op", "ns/step", "ns/sweep", "rounds/op")
 ALLOC_UNIT = "allocs/op"
-GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv")
-ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkBatchWalkEngineReuse")
+GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv",
+                    "DetectorPool")
+ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense",
+                         "BenchmarkBatchWalkEngineReuse")
+
+# Absolute throughput gate of the serving subsystem: warm-cache registry
+# serving must answer at least POOL_SPEEDUP_MIN times the requests/s of
+# per-request Detector construction (equivalently, fresh ns/op must be at
+# least that multiple of warm ns/op). Gated head-only, like the zero-alloc
+# contracts.
+POOL_FRESH = "BenchmarkDetectorPoolThroughput/fresh"
+POOL_WARM = "BenchmarkDetectorPoolThroughput/warm"
+POOL_SPEEDUP_MIN = 5.0
 
 
 def load(path):
@@ -80,6 +97,22 @@ def main():
         print(f"{name} [{ALLOC_UNIT}]: head {allocs:,.0f} (want 0) {status}")
         if allocs > 0:
             failed.append(name)
+
+    # Absolute gate: warm-cache pooled serving vs per-request construction.
+    fresh_key, warm_key = (POOL_FRESH, "ns/op"), (POOL_WARM, "ns/op")
+    if fresh_key in head and warm_key in head:
+        fresh, warm = median(head[fresh_key]), median(head[warm_key])
+        speedup = fresh / warm if warm > 0 else float("inf")
+        status = "ok" if speedup >= POOL_SPEEDUP_MIN else "REGRESSION"
+        print(f"{POOL_WARM}: {speedup:,.1f}x the fresh-construction throughput "
+              f"(want >= {POOL_SPEEDUP_MIN:g}x) {status}")
+        if speedup < POOL_SPEEDUP_MIN:
+            failed.append(POOL_WARM)
+    else:
+        # head.bench always runs the full suite, so a missing pair means the
+        # acceptance benchmark itself broke — that must fail, not skip.
+        print("DetectorPoolThroughput fresh/warm pair missing from head REGRESSION")
+        failed.append(POOL_WARM)
 
     # Relative gate: ns-valued regressions against the base ref.
     for key in sorted(head):

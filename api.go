@@ -47,6 +47,7 @@ import (
 	"context"
 	"io"
 	"iter"
+	"net/http"
 
 	"cdrw/internal/baseline"
 	"cdrw/internal/congest"
@@ -57,6 +58,7 @@ import (
 	"cdrw/internal/metrics"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
+	"cdrw/internal/serve"
 	"cdrw/internal/viz"
 )
 
@@ -360,6 +362,54 @@ var (
 	// observers shared across Detectors running in different goroutines.
 	SynchronizedDetectionObserver = core.SynchronizedDetectionObserver
 )
+
+// Concurrent serving. A single Detector is deliberately single-goroutine;
+// the serving subsystem turns it into a concurrent front end: DetectorPool
+// lends warmed handles to one request at a time (bounded admission,
+// ctx-aware checkout), GraphRegistry maps named graphs to pools with result
+// caching keyed by DetectorSettings.Fingerprint and singleflight collapsing
+// of identical in-flight runs, and NewServeHandler is the HTTP/JSON surface
+// the cdrwd daemon mounts.
+type (
+	// DetectorPool is a concurrency-safe pool of warmed Detectors over one
+	// graph: handles retain their engines and sweep buffers across requests,
+	// so the Detector's allocation-free repeat-serving contract holds per
+	// handle under concurrent load. Pooled answers are byte-identical to a
+	// fresh solo Detector's for fixed seeds.
+	DetectorPool = serve.DetectorPool
+	// GraphRegistry maps named graphs to detector pools, fronted by a
+	// per-(graph, option-fingerprint) result cache with invalidation on
+	// graph replacement and singleflight collapsing.
+	GraphRegistry = serve.Registry
+	// ServeMetrics aggregates the serving counters (requests, errors, cache
+	// hits/misses, collapsed requests, pool waits, latency quantiles).
+	ServeMetrics = metrics.ServeMetrics
+	// ServeSnapshot is a point-in-time read of a ServeMetrics.
+	ServeSnapshot = metrics.ServeSnapshot
+)
+
+// NewDetectorPool builds a pool of size warmed detectors over g, all with
+// the same options (resolved and validated exactly like NewDetector).
+func NewDetectorPool(g *Graph, size int, opts ...Option) (*DetectorPool, error) {
+	return serve.NewDetectorPool(g, size, opts...)
+}
+
+// NewGraphRegistry returns an empty registry whose pools hold poolSize
+// handles each (poolSize < 1 selects GOMAXPROCS); m receives the serving
+// counters and may be nil.
+func NewGraphRegistry(poolSize int, m *ServeMetrics) *GraphRegistry {
+	return serve.NewRegistry(poolSize, m)
+}
+
+// NewServeMetrics returns a fresh serving counter set.
+func NewServeMetrics() *ServeMetrics { return metrics.NewServeMetrics() }
+
+// NewServeHandler mounts reg behind the cdrwd HTTP/JSON surface (graph
+// upload/generate, detect, community, NDJSON streams, /metrics, /healthz)
+// for embedding the daemon in a larger server.
+func NewServeHandler(reg *GraphRegistry, m *ServeMetrics) http.Handler {
+	return serve.NewHandler(reg, m)
+}
 
 // Distributed engines.
 type (

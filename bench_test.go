@@ -9,6 +9,7 @@ import (
 	"context"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"cdrw"
@@ -466,6 +467,166 @@ func BenchmarkDetectorReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDetectorReuseDense is BenchmarkDetectorReuse with the dense
+// reference sweep forced (WithDenseSweep): since the dense selection path
+// reuses the sweeper's index/selection buffers, the 0-allocs/op serving
+// contract now extends past the sparse regime, and CI's bench gate enforces
+// it absolutely here too. Smaller n than the sparse twin — every step costs
+// O(n·ladder) by design.
+func BenchmarkDetectorReuseDense(b *testing.B) {
+	const n = 4096
+	const blocks = 8
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 20 / bs, Q: 0}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cdrw.NewDetector(ppm.Graph, cdrw.WithDenseSweep())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for s := 0; s < n; s += n / blocks {
+		if _, _, err := d.DetectCommunity(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.DetectCommunity(ctx, (i*701)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Concurrent serving benchmarks ---
+//
+// BenchmarkDetectorPoolThroughput measures whole-graph serving requests/s at
+// n=2048 across the serving tiers the new subsystem adds. CI's bench gate
+// enforces the acceptance bar absolutely: the warm-cache path must serve at
+// least 5× the requests/s of per-request Detector construction
+// (fresh ns/op ≥ 5 × warm ns/op).
+
+// benchServeGraph samples the n=2048 serving workload (4 blocks, sparse
+// regime) shared by every DetectorPoolThroughput tier.
+func benchServeGraph(b *testing.B) (*cdrw.Graph, []cdrw.Option) {
+	b.Helper()
+	const n, blocks = 2048, 4
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 2 * math.Log2(bs) / bs, Q: 0.1 / bs}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ppm.Graph, []cdrw.Option{
+		cdrw.WithDelta(cfg.ExpectedConductance()),
+		cdrw.WithSeed(7),
+	}
+}
+
+func reportReqPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "req/s")
+	}
+}
+
+// BenchmarkDetectorPoolThroughput/fresh: the baseline the pool removes —
+// every request constructs its own Detector (engines, degree index, sweep
+// scratch all rebuilt) and runs a full detection.
+func BenchmarkDetectorPoolThroughput(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		g, opts := benchServeGraph(b)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := cdrw.NewDetector(g, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Detect(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportReqPerSec(b)
+	})
+
+	// pooled: uncached serving on warmed pooled handles — the cold tier of
+	// the registry (every request recomputes, nothing is rebuilt).
+	b.Run("pooled", func(b *testing.B) {
+		g, opts := benchServeGraph(b)
+		pool, err := cdrw.NewDetectorPool(g, 2, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := pool.Detect(ctx); err != nil {
+			b.Fatal(err) // warm the handles' engines
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Detect(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportReqPerSec(b)
+	})
+
+	// pooled-parallel: the same uncached tier under concurrent load — the
+	// pool's reason to exist (GOMAXPROCS clients, bounded admission).
+	b.Run("pooled-parallel", func(b *testing.B) {
+		g, opts := benchServeGraph(b)
+		pool, err := cdrw.NewDetectorPool(g, runtime.GOMAXPROCS(0), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := pool.Detect(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := pool.Detect(ctx); err != nil {
+					b.Error(err) // Fatal is not legal off the benchmark goroutine
+					return
+				}
+			}
+		})
+		reportReqPerSec(b)
+	})
+
+	// warm: registry serving with a hot result cache — identical requests
+	// answered from the per-(graph, fingerprint) cache.
+	b.Run("warm", func(b *testing.B) {
+		g, opts := benchServeGraph(b)
+		reg := cdrw.NewGraphRegistry(2, nil)
+		if err := reg.Register("g", g, opts...); err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, _, _, err := reg.Detect(ctx, "g"); err != nil {
+			b.Fatal(err) // populate the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, _, cached, err := reg.Detect(ctx, "g")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cached || len(res.Detections) == 0 {
+				b.Fatal("warm tier missed the cache")
+			}
+		}
+		reportReqPerSec(b)
+	})
 }
 
 // BenchmarkDetectCommunity measures the end-to-end single-seed detection on

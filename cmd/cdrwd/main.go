@@ -1,0 +1,92 @@
+// Command cdrwd is the CDRW serving daemon: an HTTP/JSON front end over the
+// concurrent serving subsystem (internal/serve). It holds named graphs in a
+// registry, serves Detect / DetectCommunity / streamed detections from
+// bounded pools of warmed detectors — with per-option-fingerprint result
+// caching and singleflight collapsing — and exposes Prometheus-style
+// counters on /metrics.
+//
+// Endpoints (see internal/serve.NewHandler for the full table):
+//
+//	GET    /healthz
+//	GET    /metrics
+//	GET    /graphs
+//	PUT    /graphs/{name}             (edge-list body)
+//	DELETE /graphs/{name}
+//	POST   /graphs/{name}/generate    {"model":"ppm","n":2048,"r":2,"p":0.02,"q":0.0006}
+//	POST   /graphs/{name}/detect      {"engine":"reference","delta":0.1,"seed":1}
+//	POST   /graphs/{name}/community   {"seed":17,"options":{...}}
+//	POST   /graphs/{name}/stream      NDJSON detections
+//
+// Example session:
+//
+//	cdrwd -addr :8080 &
+//	curl -X POST localhost:8080/graphs/demo/generate -d '{"n":2048,"r":4,"p":0.04,"q":0.001}'
+//	curl -X POST localhost:8080/graphs/demo/detect   -d '{"delta":0.1}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdrw/internal/metrics"
+	"cdrw/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	poolSize := flag.Int("pool", 0, "detector handles per (graph, option) pool (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("cdrwd listening on %s (pool size %d per graph/option set)", ln.Addr(), *poolSize)
+	if err := run(ctx, ln, *poolSize); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves the daemon on ln until ctx is done, then drains in-flight
+// requests (bounded) and returns. Split from main so tests can drive a full
+// daemon lifecycle — including shutdown goroutine accounting — in-process.
+func run(ctx context.Context, ln net.Listener, poolSize int) error {
+	m := metrics.NewServeMetrics()
+	srv := &http.Server{
+		Handler: serve.NewHandler(serve.NewRegistry(poolSize, m), m),
+		// Streams are long-lived by design; only bound the header read.
+		// Deliberately no BaseContext on the signal ctx: shutdown must
+		// drain in-flight requests, not cancel them — hard cancellation is
+		// reserved for the post-grace srv.Close below (closing a request's
+		// connection cancels its context, which aborts its detection run).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// In-flight streams that outlive the grace period are cut hard.
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("cdrwd: %w", err)
+	}
+	return nil
+}

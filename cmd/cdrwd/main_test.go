@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the full daemon lifecycle in-process on an ephemeral
+// port, returning its base URL and a shutdown function that blocks until
+// run has drained.
+func startDaemon(t *testing.T) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, ln, 2) }()
+	url := "http://" + ln.Addr().String()
+	// Wait for the daemon to accept.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return url, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("daemon did not shut down")
+		}
+	}
+}
+
+// TestDaemonSmoke: generate a graph, detect, assert the JSON shape — the
+// same sequence CI's smoke job runs against the built binary.
+func TestDaemonSmoke(t *testing.T) {
+	url, shutdown := startDaemon(t)
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	resp, err := http.Post(url+"/graphs/demo/generate", "application/json",
+		strings.NewReader(`{"n":512,"r":2,"p":0.06,"q":0.002,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Name     string `json:"name"`
+		Vertices int    `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || info.Vertices != 512 {
+		t.Fatalf("generate: status %d info %+v", resp.StatusCode, info)
+	}
+
+	resp, err = http.Post(url+"/graphs/demo/detect", "application/json",
+		strings.NewReader(`{"delta":0.1,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det struct {
+		Fingerprint string `json:"fingerprint"`
+		Cached      bool   `json:"cached"`
+		Detections  []struct {
+			Assigned []int `json:"assigned"`
+			Stats    struct {
+				FinalSetSize int `json:"final_set_size"`
+			} `json:"stats"`
+		} `json:"detections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(det.Detections) == 0 || det.Fingerprint == "" {
+		t.Fatalf("detect: status %d body %+v", resp.StatusCode, det)
+	}
+	covered := 0
+	for _, d := range det.Detections {
+		covered += len(d.Assigned)
+	}
+	if covered != 512 {
+		t.Fatalf("detections cover %d of 512 vertices", covered)
+	}
+}
+
+// TestDaemonShutdownLeaksNoGoroutines: a daemon that served requests —
+// including a stream that is still open when shutdown starts — unwinds to
+// its pre-start goroutine baseline.
+func TestDaemonShutdownLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	url, shutdown := startDaemon(t)
+
+	resp, err := http.Post(url+"/graphs/g/generate", "application/json",
+		strings.NewReader(`{"n":256,"r":2,"p":0.08,"q":0.002}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Open a stream and abandon it mid-body: the handler must notice the
+	// closed connection and release the pooled handle during shutdown.
+	sresp, err := http.Post(url+"/graphs/g/stream", "application/json",
+		strings.NewReader(`{"delta":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The client's own keep-alive goroutines count against the baseline too.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon shutdown leaked goroutines: %d running, baseline %d",
+				runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,8 @@
 package cdrw_test
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"cdrw"
@@ -245,5 +247,84 @@ func TestIntegrationConductanceDrivenDelta(t *testing.T) {
 	}
 	if f < 0.8 {
 		t.Fatalf("estimated-δ detection F=%v", f)
+	}
+}
+
+// TestIntegrationServingPipeline exercises the public serving surface end to
+// end: a registry-backed handler serving a generated graph, pooled Detect
+// answers byte-identical to a solo Detector, warm-cache hits, and correct
+// accuracy against the PPM ground truth via the metrics layer.
+func TestIntegrationServingPipeline(t *testing.T) {
+	cfg := cdrw.PPMConfig{N: 512, R: 4, P: 0.2, Q: 0.001}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []cdrw.Option{cdrw.WithDelta(cfg.ExpectedConductance()), cdrw.WithSeed(11)}
+
+	solo, err := cdrw.NewDetector(ppm.Graph, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solo.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := cdrw.NewServeMetrics()
+	reg := cdrw.NewGraphRegistry(2, m)
+	if err := reg.Register("ppm", ppm.Graph, opts...); err != nil {
+		t.Fatal(err)
+	}
+	got, _, cached, err := reg.Detect(context.Background(), "ppm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold registry Detect reported cached")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("registry-served result differs from a solo Detector's")
+	}
+	if _, _, cached, err = reg.Detect(context.Background(), "ppm"); err != nil || !cached {
+		t.Fatalf("warm registry Detect: cached=%v err=%v", cached, err)
+	}
+	if s := m.Snapshot(); s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("serve metrics %+v, want 1 hit / 1 miss", s)
+	}
+
+	// The served partition scores like the direct one against ground truth.
+	truth := ppm.TruthCommunities()
+	results := make([]cdrw.DetectionResult, 0, len(got.Detections))
+	for _, det := range got.Detections {
+		results = append(results, cdrw.DetectionResult{
+			Detected: det.Raw,
+			Truth:    truth[ppm.Truth[det.Stats.Seed]],
+		})
+	}
+	f, err := cdrw.TotalFScore(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.9 {
+		t.Fatalf("served detection F-score %.3f below 0.9 on a clean PPM", f)
+	}
+
+	// Pooled single-seed serving through the public DetectorPool.
+	pool, err := cdrw.NewDetectorPool(ppm.Graph, 2, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComm, _, err := solo.DetectCommunity(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCopy := append([]int(nil), wantComm...)
+	gotComm, _, err := pool.DetectCommunity(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotComm, wantCopy) {
+		t.Fatal("pooled community differs from the solo Detector's")
 	}
 }

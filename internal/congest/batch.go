@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"cdrw/internal/graph"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
 )
@@ -275,13 +276,18 @@ func batchFlood(nw *Network, walks []*batchWalk, degInv []float64, counts []int3
 // in one community cost some duplicated messages. The run is fully
 // deterministic in cfg.Seed.
 //
-// The pool tail is never batched: once the pool is smaller than
-// Batch·MinCommunitySize it cannot plausibly hold a batch of distinct
-// communities, and forcing every straggler vertex to walk would run
-// detections the sequential loop absorbs into one another (a straggler's
-// walk can be pathologically long — it is exactly the seed whose community
-// never settles). The tail therefore draws one seed at a time, matching the
-// sequential loop's behaviour where batching has nothing left to win.
+// The pool tail — once the pool is smaller than Batch·MinCommunitySize —
+// sizes its batches from the pool's component structure instead of the
+// fixed guard: a small pool cannot plausibly hold a batch of distinct
+// communities *within one connected piece*, and forcing every straggler
+// vertex to walk would run detections the sequential loop absorbs into one
+// another (a straggler's walk can be pathologically long — it is exactly
+// the seed whose community never settles). But when the residual pool
+// splits into several components of its induced subgraph, the sequential
+// loop must seed each piece separately anyway, so the tail draws up to
+// min(Batch, components) seeds, one per distinct component, and shares
+// their rounds. A single-component tail degenerates to the sequential
+// one-seed-at-a-time loop, exactly as before.
 func detectBatchedPool(nw *Network, cfg Config) (*Result, error) {
 	g := nw.Graph()
 	n := g.NumVertices()
@@ -294,6 +300,8 @@ func detectBatchedPool(nw *Network, cfg Config) (*Result, error) {
 	}
 	seeds := make([]int, 0, cfg.Batch)
 	free := make([]int, 0, n)
+	comp := make([]int, n)
+	queue := make([]int, 0, n)
 	res := &Result{}
 	before := nw.Metrics()
 	for len(pool) > 0 {
@@ -325,6 +333,35 @@ func detectBatchedPool(nw *Network, cfg Config) (*Result, error) {
 			for _, s := range seeds {
 				for _, u := range g.Ball(s, 2) {
 					blocked[u] = false
+				}
+			}
+		} else if cfg.Batch > 1 {
+			// Straggler tail: the batch size follows the pool's component
+			// structure. Disjoint pieces of the pool-induced subgraph need a
+			// seed each regardless of the schedule, so one seed per
+			// component (up to Batch) shares their rounds for free.
+			if comps := poolComponents(g, pool, assigned, comp, queue); comps > 1 {
+				// blocked doubles as the seeded-component mask here: component
+				// labels live in [0, comps) ⊆ [0, n), and the ball-spread
+				// branch (which also uses blocked) is unreachable this
+				// super-step.
+				blocked[comp[seeds[0]]] = true
+				for len(seeds) < cfg.Batch {
+					free = free[:0]
+					for _, v := range pool {
+						if !blocked[comp[v]] {
+							free = append(free, v)
+						}
+					}
+					if len(free) == 0 {
+						break // every component carries a seed already
+					}
+					s := free[r.Intn(len(free))]
+					seeds = append(seeds, s)
+					blocked[comp[s]] = true
+				}
+				for _, s := range seeds {
+					blocked[comp[s]] = false
 				}
 			}
 		}
@@ -359,4 +396,37 @@ func detectBatchedPool(nw *Network, cfg Config) (*Result, error) {
 	res.Metrics.Rounds -= before.Rounds
 	res.Metrics.Messages -= before.Messages
 	return res, nil
+}
+
+// poolComponents labels the connected components of the subgraph induced by
+// the unassigned pool vertices (edges with both endpoints unassigned),
+// writing each pool vertex's component into comp and returning the count.
+// Labels are assigned in pool order, deterministically. Only pool entries of
+// comp are written; queue is BFS scratch. Cost is O(n + vol(pool)) — paid
+// once per tail super-step, where it buys shared rounds for every extra
+// component.
+func poolComponents(g *graph.Graph, pool []int, assigned []bool, comp []int, queue []int) int {
+	for _, v := range pool {
+		comp[v] = -1
+	}
+	comps := 0
+	for _, v := range pool {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = comps
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(u) {
+				if !assigned[w] && comp[w] < 0 {
+					comp[w] = comps
+					queue = append(queue, int(w))
+				}
+			}
+		}
+		comps++
+	}
+	return comps
 }

@@ -3,11 +3,13 @@ package congest
 import (
 	"context"
 	"errors"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
 	"cdrw/internal/gen"
+	"cdrw/internal/graph"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
 )
@@ -275,5 +277,116 @@ func TestCanonicalSumMatchesSweeper(t *testing.T) {
 				t.Fatalf("steps %d: sets differ at %d: %d vs %d", steps, i, set[i], want.Vertices[i])
 			}
 		}
+	}
+}
+
+// cliqueRow builds k disjoint cliques of c vertices each (clique i holds
+// vertices [i·c, (i+1)·c)) — the straggler-tail fixture: a pool that is
+// small in total but splits into many components.
+func cliqueRow(t *testing.T, k, c int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(k * c)
+	for blk := 0; blk < k; blk++ {
+		base := blk * c
+		for u := 0; u < c; u++ {
+			for v := u + 1; v < c; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPoolComponents: the tail's component labelling respects the assigned
+// mask — assigned vertices neither receive labels nor connect pool pieces.
+func TestPoolComponents(t *testing.T) {
+	// Path 0-1-2-3-4: assigning the middle vertex splits the pool in two.
+	b := graph.NewBuilder(5)
+	for v := 0; v < 4; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := make([]bool, 5)
+	comp := make([]int, 5)
+	var queue []int
+	if comps := poolComponents(g, []int{0, 1, 2, 3, 4}, assigned, comp, queue); comps != 1 {
+		t.Fatalf("intact path: %d components, want 1", comps)
+	}
+	assigned[2] = true
+	pool := []int{0, 1, 3, 4}
+	if comps := poolComponents(g, pool, assigned, comp, queue); comps != 2 {
+		t.Fatalf("split path: %d components, want 2", comps)
+	}
+	if comp[0] != comp[1] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatalf("split path labels %v, want {0,1} and {3,4} in distinct components", comp)
+	}
+}
+
+// TestBatchedPoolComponentTail: when the whole pool sits below the
+// Batch·MinCommunitySize guard but splits into disconnected components, the
+// tail batches one seed per component instead of going sequential — every
+// detection still bit-identical to a solo run of its seed, the partition
+// complete, and the global round count strictly below the sequential loop's.
+func TestBatchedPoolComponentTail(t *testing.T) {
+	const k, c = 8, 8
+	g := cliqueRow(t, k, c)
+	cfg := DefaultConfig(k * c)
+	cfg.Delta = 0.05
+
+	seq, err := Detect(NewNetwork(g, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch far above the pool size: every super-step is a tail super-step.
+	cfg.Batch = 32
+	bat, err := Detect(NewNetwork(g, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.Metrics.Rounds >= seq.Metrics.Rounds {
+		t.Fatalf("component tail took %d rounds, sequential %d — no round win",
+			bat.Metrics.Rounds, seq.Metrics.Rounds)
+	}
+
+	seen := make([]bool, k*c)
+	refNW := NewNetwork(g, 1)
+	for _, det := range bat.Detections {
+		for _, v := range det.Assigned {
+			if seen[v] {
+				t.Fatalf("vertex %d assigned twice", v)
+			}
+			seen[v] = true
+		}
+		want, wantStats, err := DetectCommunity(refNW, det.Stats.Seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(det.Raw, want) {
+			t.Fatalf("seed %d: tail community %v != sequential %v", det.Stats.Seed, det.Raw, want)
+		}
+		if !reflect.DeepEqual(det.Stats, wantStats) {
+			t.Fatalf("seed %d: tail stats %+v != sequential %+v", det.Stats.Seed, det.Stats, wantStats)
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+
+	again, err := Detect(NewNetwork(g, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bat.Detections, again.Detections) || bat.Metrics != again.Metrics {
+		t.Fatal("component-tail pool loop not deterministic")
 	}
 }

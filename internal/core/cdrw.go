@@ -355,10 +355,12 @@ func DetectCommunityContext(ctx context.Context, g *graph.Graph, s int, opts ...
 
 // sweep runs one mixing-set search over the engine's current distribution:
 // the engine's hybrid sparse/dense sweep by default, or the dense reference
-// when WithDenseSweep was given. Both return bit-identical results.
-func (c *config) sweep(g *graph.Graph, eng *rw.WalkEngine) (rw.MixingSet, error) {
+// when WithDenseSweep was given. Both return bit-identical results, and
+// both run over the engine's retained sweeper buffers, so repeat serving is
+// allocation-free whichever path a step takes.
+func (c *config) sweep(_ *graph.Graph, eng *rw.WalkEngine) (rw.MixingSet, error) {
 	if c.denseSweep {
-		return rw.LargestMixingSetOpt(g, eng.Dist(), c.minSize, c.mix)
+		return eng.LargestMixingSetDense(c.minSize, c.mix)
 	}
 	return eng.LargestMixingSet(c.minSize, c.mix)
 }

@@ -49,7 +49,9 @@ type Detector struct {
 
 	// Parallel-engine state, retained across runs: the batch walk engine is
 	// Reset(seeds) instead of rebuilt, and the trackers, seed-drawing and
-	// overlap-resolution scratch rewind in place.
+	// overlap-resolution scratch rewind in place. parWork feeds the run's
+	// persistent walker goroutines; the channel is retained so repeat runs
+	// reuse it instead of reallocating.
 	parBatch    *rw.BatchWalkEngine
 	parTrackers []*communityTracker
 	parSeeds    []int
@@ -57,6 +59,7 @@ type Detector struct {
 	parFree     []int
 	parErrs     []error
 	parOwner    []int
+	parWork     chan parTask
 
 	// Pool-loop scratch, retained.
 	assigned []bool

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -12,14 +13,19 @@ import (
 	"cdrw/internal/rw"
 )
 
+// parTask is one unit of walker work: advance walk i at walk length l. A
+// negative i is the stop sentinel that retires a worker at the end of a run.
+type parTask struct{ i, l int }
+
 // DetectParallel implements the extension sketched in the paper's
 // conclusion: "our algorithm can also be extended to find communities even
 // faster (by finding communities in parallel), assuming we know an
 // (estimate) of r". It draws r seeds and advances all r walks in lockstep
-// on a shared batched walk engine, one goroutine per walk and step: each
-// goroutine advances its walk (hybrid sparse/dense kernel) and runs its
-// mixing-set search, so stepping and sweeping overlap across cores. It then
-// resolves overlaps
+// on a shared batched walk engine, with a pool of persistent walker
+// goroutines fed walk indices over a retained channel: each task advances
+// one walk (hybrid sparse/dense kernel) and runs its mixing-set search, so
+// stepping and sweeping overlap across cores without spawning a goroutine
+// per walk per step. It then resolves overlaps
 // deterministically: a vertex claimed by several detections goes to the one
 // whose seed drew the lower pool position. Vertices claimed by no detection
 // are attached to the claiming community most frequent among their
@@ -126,53 +132,93 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 	for i := range errs {
 		errs[i] = nil
 	}
+	// Persistent walkers: one task advances walk i by one step and runs its
+	// sweep. Instead of spawning a goroutine per live walk per step — whose
+	// creation cost dominates short steps under DetectorPool load — the run
+	// spawns min(r, GOMAXPROCS) workers once and feeds them walk indices
+	// over a channel the detector retains across runs.
+	var wg sync.WaitGroup
+	step := func(i, l int) {
+		defer wg.Done()
+		if err := sctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		var t0 time.Time
+		if cfg.observer != nil {
+			t0 = time.Now()
+		}
+		batch.StepWalk(i)
+		var t1 time.Time
+		if cfg.observer != nil {
+			t1 = time.Now()
+		}
+		var cur rw.MixingSet
+		var err error
+		if cfg.denseSweep {
+			cur, err = batch.LargestMixingSetDense(i, cfg.minSize, cfg.mix)
+		} else {
+			cur, err = batch.LargestMixingSet(i, cfg.minSize, cfg.mix)
+		}
+		if err != nil {
+			errs[i] = err
+			cancel() // first error cancels the sibling walkers
+			return
+		}
+		if cfg.observer != nil {
+			eng := batch.Engine(i)
+			cfg.observer(StepTiming{
+				Seed:        seeds[i],
+				Step:        l,
+				Support:     eng.SupportSize(),
+				SparseSweep: eng.Sparse() && !cfg.denseSweep,
+				StepNS:      t1.Sub(t0).Nanoseconds(),
+				SweepNS:     time.Since(t1).Nanoseconds(),
+			})
+		}
+		trackers[i].observe(l, cur)
+	}
+	if cap(d.parWork) < r {
+		d.parWork = make(chan parTask, r)
+	}
+	work := d.parWork
+	workers := r
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for t := range work {
+				if t.i < 0 {
+					return
+				}
+				step(t.i, t.l)
+			}
+		}()
+	}
+	// Stop the workers on every exit path and join them before returning:
+	// the channel is retained across runs, so a worker left alive here
+	// could steal the next run's tasks (or its stop sentinels) and run this
+	// run's stale closure. The channel's capacity is at least r ≥ workers
+	// and the dispatch loop always joins (wg.Wait) before returning, so the
+	// sentinel sends cannot block, and every worker consumes exactly one
+	// sentinel — the channel is empty once workerWG settles.
+	defer func() {
+		for w := 0; w < workers; w++ {
+			work <- parTask{i: -1}
+		}
+		workerWG.Wait()
+	}()
 	for l := 1; l <= cfg.maxLen && batch.Active() > 0; l++ {
-		var wg sync.WaitGroup
 		for i := range trackers {
 			if trackers[i].done || errs[i] != nil {
 				continue
 			}
 			wg.Add(1)
-			go func(i, l int) {
-				defer wg.Done()
-				if err := sctx.Err(); err != nil {
-					errs[i] = err
-					return
-				}
-				var t0 time.Time
-				if cfg.observer != nil {
-					t0 = time.Now()
-				}
-				batch.StepWalk(i)
-				var t1 time.Time
-				if cfg.observer != nil {
-					t1 = time.Now()
-				}
-				var cur rw.MixingSet
-				var err error
-				if cfg.denseSweep {
-					cur, err = rw.LargestMixingSetOpt(g, batch.Dist(i), cfg.minSize, cfg.mix)
-				} else {
-					cur, err = batch.LargestMixingSet(i, cfg.minSize, cfg.mix)
-				}
-				if err != nil {
-					errs[i] = err
-					cancel() // first error cancels the sibling walkers
-					return
-				}
-				if cfg.observer != nil {
-					eng := batch.Engine(i)
-					cfg.observer(StepTiming{
-						Seed:        seeds[i],
-						Step:        l,
-						Support:     eng.SupportSize(),
-						SparseSweep: eng.Sparse() && !cfg.denseSweep,
-						StepNS:      t1.Sub(t0).Nanoseconds(),
-						SweepNS:     time.Since(t1).Nanoseconds(),
-					})
-				}
-				trackers[i].observe(l, cur)
-			}(i, l)
+			work <- parTask{i: i, l: l}
 		}
 		wg.Wait()
 		// The first genuine walker error wins: once one walker fails and

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file carries the serving-side counters of the cdrwd daemon and the
+// DetectorPool/Registry layer (internal/serve): request and error counts,
+// result-cache hits and misses, singleflight collapses, pool checkout waits,
+// and a request-latency histogram with p50/p99 estimates. Everything is
+// lock-free (atomics only) so the hot serving path pays a handful of
+// uncontended atomic adds per request.
+
+// latencyBuckets is the number of power-of-two latency buckets: bucket i
+// holds durations in [2^(i-1), 2^i) nanoseconds, so 64 buckets cover every
+// representable duration.
+const latencyBuckets = 64
+
+// ServeMetrics aggregates the serving counters of one daemon (or one
+// Registry). All methods are safe for concurrent use. The zero value is
+// ready to use; NewServeMetrics exists for symmetry with the rest of the
+// API.
+type ServeMetrics struct {
+	requests   atomic.Int64
+	errors     atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	collapsed  atomic.Int64
+	poolWaits  atomic.Int64
+	latCount   atomic.Int64
+	latSumNS   atomic.Int64
+	latBuckets [latencyBuckets]atomic.Int64
+}
+
+// NewServeMetrics returns a fresh, zeroed counter set.
+func NewServeMetrics() *ServeMetrics { return &ServeMetrics{} }
+
+// IncRequest counts one incoming request.
+func (m *ServeMetrics) IncRequest() { m.requests.Add(1) }
+
+// IncError counts one failed request.
+func (m *ServeMetrics) IncError() { m.errors.Add(1) }
+
+// IncCacheHit counts one result served from the registry cache.
+func (m *ServeMetrics) IncCacheHit() { m.cacheHits.Add(1) }
+
+// IncCacheMiss counts one result that had to be computed.
+func (m *ServeMetrics) IncCacheMiss() { m.cacheMiss.Add(1) }
+
+// IncCollapsed counts one request collapsed onto an identical in-flight run.
+func (m *ServeMetrics) IncCollapsed() { m.collapsed.Add(1) }
+
+// IncPoolWait counts one pool checkout that found no idle detector and had
+// to wait.
+func (m *ServeMetrics) IncPoolWait() { m.poolWaits.Add(1) }
+
+// ObserveLatency records one request's wall time in the histogram.
+func (m *ServeMetrics) ObserveLatency(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	m.latCount.Add(1)
+	m.latSumNS.Add(ns)
+	m.latBuckets[bits.Len64(uint64(ns))%latencyBuckets].Add(1)
+}
+
+// ServeSnapshot is a consistent-enough point-in-time copy of the counters
+// (each counter is read atomically; the set is not a transaction, which is
+// fine for monitoring).
+type ServeSnapshot struct {
+	Requests     int64
+	Errors       int64
+	CacheHits    int64
+	CacheMisses  int64
+	Collapsed    int64
+	PoolWaits    int64
+	LatencyCount int64
+	LatencyMean  time.Duration
+	LatencyP50   time.Duration
+	LatencyP99   time.Duration
+}
+
+// Snapshot reads every counter and derives the latency quantiles.
+func (m *ServeMetrics) Snapshot() ServeSnapshot {
+	s := ServeSnapshot{
+		Requests:     m.requests.Load(),
+		Errors:       m.errors.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMiss.Load(),
+		Collapsed:    m.collapsed.Load(),
+		PoolWaits:    m.poolWaits.Load(),
+		LatencyCount: m.latCount.Load(),
+	}
+	if s.LatencyCount > 0 {
+		s.LatencyMean = time.Duration(m.latSumNS.Load() / s.LatencyCount)
+	}
+	s.LatencyP50 = m.quantile(0.50)
+	s.LatencyP99 = m.quantile(0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from the power-of-two histogram: the
+// bucket holding the q·count-th observation is located by a cumulative scan
+// and its geometric midpoint returned. The estimate is within a factor √2 of
+// the true quantile, which is all a /metrics endpoint needs.
+func (m *ServeMetrics) quantile(q float64) time.Duration {
+	total := int64(0)
+	var counts [latencyBuckets]int64
+	for i := range counts {
+		counts[i] = m.latBuckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Bucket i holds [2^(i-1), 2^i); return its geometric midpoint.
+			lo := math.Exp2(float64(i - 1))
+			return time.Duration(lo * math.Sqrt2)
+		}
+	}
+	return 0
+}
+
+// WritePrometheus renders the counters in the Prometheus text exposition
+// format, which is also perfectly readable by humans behind `curl /metrics`.
+func (m *ServeMetrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	_, err := fmt.Fprintf(w,
+		"# HELP cdrw_requests_total Requests received.\n"+
+			"# TYPE cdrw_requests_total counter\n"+
+			"cdrw_requests_total %d\n"+
+			"# HELP cdrw_errors_total Requests that failed.\n"+
+			"# TYPE cdrw_errors_total counter\n"+
+			"cdrw_errors_total %d\n"+
+			"# HELP cdrw_cache_hits_total Detect results served from the registry cache.\n"+
+			"# TYPE cdrw_cache_hits_total counter\n"+
+			"cdrw_cache_hits_total %d\n"+
+			"# HELP cdrw_cache_misses_total Detect results that had to be computed.\n"+
+			"# TYPE cdrw_cache_misses_total counter\n"+
+			"cdrw_cache_misses_total %d\n"+
+			"# HELP cdrw_collapsed_total Requests collapsed onto an identical in-flight run.\n"+
+			"# TYPE cdrw_collapsed_total counter\n"+
+			"cdrw_collapsed_total %d\n"+
+			"# HELP cdrw_pool_waits_total Pool checkouts that had to wait for an idle detector.\n"+
+			"# TYPE cdrw_pool_waits_total counter\n"+
+			"cdrw_pool_waits_total %d\n"+
+			"# HELP cdrw_latency_seconds Request latency (mean and histogram-estimated quantiles).\n"+
+			"# TYPE cdrw_latency_seconds summary\n"+
+			"cdrw_latency_seconds{quantile=\"0.5\"} %g\n"+
+			"cdrw_latency_seconds{quantile=\"0.99\"} %g\n"+
+			"cdrw_latency_seconds_sum %g\n"+
+			"cdrw_latency_seconds_count %d\n",
+		s.Requests, s.Errors, s.CacheHits, s.CacheMisses, s.Collapsed,
+		s.PoolWaits,
+		s.LatencyP50.Seconds(), s.LatencyP99.Seconds(),
+		(time.Duration(m.latSumNS.Load()) * time.Nanosecond).Seconds(),
+		s.LatencyCount)
+	return err
+}

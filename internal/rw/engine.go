@@ -217,6 +217,19 @@ func (e *WalkEngine) LargestMixingSet(minSize int, opt MixOptions) (MixingSet, e
 	return e.sweeper.LargestMixingSet(e.p, support, minSize, opt)
 }
 
+// LargestMixingSetDense runs the sweep on the dense O(n)-per-size reference
+// path regardless of the engine's regime — the WithDenseSweep baseline of
+// the detection loops. Results are bit-identical to LargestMixingSet; unlike
+// the package-level LargestMixingSetOpt it reuses the engine's sweeper
+// buffers, so repeat serving stays allocation-free. The returned Vertices
+// alias sweeper storage, valid until this engine's next sweep.
+func (e *WalkEngine) LargestMixingSetDense(minSize int, opt MixOptions) (MixingSet, error) {
+	if e.sweeper == nil {
+		e.sweeper = NewSweeper(e.g)
+	}
+	return e.sweeper.LargestMixingSet(e.p, nil, minSize, opt)
+}
+
 // BatchWalkEngine advances many walks over the same graph in lockstep, each
 // walk on the hybrid sparse/dense kernel and bit-identical to a solo
 // WalkEngine. SetFused additionally moves dense walks into a shared
@@ -333,6 +346,16 @@ func (b *BatchWalkEngine) LargestMixingSet(i, minSize int, opt MixOptions) (Mixi
 		b.materialize(i)
 	}
 	return b.walks[i].LargestMixingSet(minSize, opt)
+}
+
+// LargestMixingSetDense is LargestMixingSet forced onto the dense reference
+// path (WalkEngine.LargestMixingSetDense) for walk i, with the same
+// per-walk concurrency contract.
+func (b *BatchWalkEngine) LargestMixingSetDense(i, minSize int, opt MixOptions) (MixingSet, error) {
+	if b.inBatch[i] {
+		b.materialize(i)
+	}
+	return b.walks[i].LargestMixingSetDense(minSize, opt)
 }
 
 // Size returns the number of walks in the batch, halted or not.

@@ -134,6 +134,15 @@ type Sweeper struct {
 	wdeg []int64      // prefix degree sums over wpos
 	out  []int        // sparse-path result buffer, reused across sweeps
 
+	// Dense-path selection scratch, reused across sweeps so the dense
+	// regime serves allocation-free too: dIdx is the quickselect
+	// permutation, dSel the current size's selected set, dBest the last
+	// accepted set (swapped with dSel on acceptance so the winner survives
+	// later, rejected sizes).
+	dIdx  []int
+	dSel  []int
+	dBest []int
+
 	// Ladder cache: the candidate sizes depend only on (minSize, growth, n),
 	// which are fixed across the steps of a detection loop; recomputing the
 	// ladder per sweep was the last steady-state allocation on the sparse
@@ -161,10 +170,11 @@ func NewSweeperWithIndex(g *graph.Graph, idx *DegreeIndex) *Sweeper {
 // identical to LargestMixingSetOpt). The two paths are bit-identical: same
 // sets, same sums, same threshold decisions.
 //
-// On the sparse path the returned Vertices slice aliases sweeper storage: it
-// is valid until the sweeper's next sweep and must be copied to be retained
+// On both paths the returned Vertices slice aliases sweeper storage: it is
+// valid until the sweeper's next sweep and must be copied to be retained
 // (the detection loops copy it into their trackers). This is what keeps a
-// long-lived Detector's repeat runs allocation-free.
+// long-lived Detector's repeat runs allocation-free, in the dense regime as
+// well as the sparse one.
 func (s *Sweeper) LargestMixingSet(p Dist, support []int32, minSize int, opt MixOptions) (MixingSet, error) {
 	opt = opt.withDefaults()
 	n := s.g.NumVertices()
@@ -214,11 +224,22 @@ func (s *Sweeper) sizeLadder(minSize int, growth float64) []int {
 	return s.ladder
 }
 
-// denseSweep is LargestMixingSetOpt over the sweeper's reusable buffer.
+// denseSweep is LargestMixingSetOpt over the sweeper's reusable buffers:
+// the x scratch, the quickselect index permutation and the two selection
+// buffers are all retained across sweeps, so steady-state dense sweeps
+// allocate nothing. Results are bit-identical to denseSweepSize (same
+// quickselect, same ascending-id summation). Like the sparse path, the
+// returned Vertices alias sweeper storage and stay valid only until the
+// sweeper's next sweep.
 func (s *Sweeper) denseSweep(p Dist, minSize int, opt MixOptions) (MixingSet, error) {
 	n := s.g.NumVertices()
 	if cap(s.x) < n {
 		s.x = make([]float64, n)
+	}
+	if cap(s.dIdx) < n {
+		s.dIdx = make([]int, n)
+		s.dSel = make([]int, 0, n)
+		s.dBest = make([]int, 0, n)
 	}
 	x := s.x[:n]
 	ladder := s.sizeLadder(minSize, opt.Growth)
@@ -228,13 +249,52 @@ func (s *Sweeper) denseSweep(p Dist, minSize int, opt MixOptions) (MixingSet, er
 			return MixingSet{}, err
 		}
 		best.SizesChecked++
-		sel, sum := denseSweepSize(s.g, p, size, x)
+		sum := s.denseEvalSize(p, size, x)
 		if sum < opt.Threshold {
-			best.Vertices = sel
+			// Keep the accepted set in dBest; the next size's evaluation
+			// overwrites dSel (the previously accepted buffer) instead.
+			s.dSel, s.dBest = s.dBest, s.dSel
+			best.Vertices = s.dBest
 			best.Sum = sum
 		}
 	}
 	return best, nil
+}
+
+// denseEvalSize is denseSweepSize over the sweeper's retained buffers: it
+// leaves the selected set, ascending, in s.dSel and returns the canonical
+// mixing sum. The selection replays SmallestK exactly — identity index
+// permutation, quickselectK, ascending sort, ascending-id accumulation — so
+// the sum is bit-identical to the allocating reference.
+func (s *Sweeper) denseEvalSize(p Dist, size int, x []float64) float64 {
+	g := s.g
+	muPrime := MuPrime(g, size)
+	XValues(g, p, size, x)
+	n := len(x)
+	k := size
+	if k > n {
+		k = n
+	}
+	idx := s.dIdx[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	quickselectK(x, idx, k)
+	sel := append(s.dSel[:0], idx[:k]...)
+	sort.Ints(sel)
+	s.dSel = sel
+	onSum := 0.0
+	var offDeg int64
+	offCount := 0
+	for _, u := range sel {
+		if p[u] != 0 {
+			onSum += x[u]
+		} else {
+			offDeg += int64(g.Degree(u))
+			offCount++
+		}
+	}
+	return mixingSum(onSum, offDeg, offCount, muPrime, size)
 }
 
 // prepare derives the per-step support tables: the support's positions in

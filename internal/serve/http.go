@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+)
+
+// maxUploadBytes bounds edge-list uploads and JSON bodies (64 MiB is ~2.7M
+// edges in the text format — far above the experiment scales, far below a
+// memory hazard).
+const maxUploadBytes = 64 << 20
+
+// OptionsJSON is the request-side option surface of the daemon: the subset
+// of the unified Detector options that make sense per request, in JSON.
+// Pointer fields distinguish "absent" (inherit the graph's base options)
+// from explicit zero values.
+type OptionsJSON struct {
+	// Engine selects reference, parallel or congest ("" inherits).
+	Engine string `json:"engine,omitempty"`
+	// Delta is the stop-rule slack δ.
+	Delta *float64 `json:"delta,omitempty"`
+	// MinCommunitySize is the initial candidate size R.
+	MinCommunitySize *int `json:"min_community_size,omitempty"`
+	// MaxWalkLength caps the walk length.
+	MaxWalkLength *int `json:"max_walk_length,omitempty"`
+	// Patience is the stalled-step tolerance of the stop rule.
+	Patience *int `json:"patience,omitempty"`
+	// Seed fixes pool sampling (part of the cache key, like every option).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Communities is the parallel engine's r estimate.
+	Communities *int `json:"communities,omitempty"`
+	// CongestWorkers, TreeDepthLimit and CongestBatch are the CONGEST knobs.
+	CongestWorkers *int `json:"congest_workers,omitempty"`
+	TreeDepthLimit *int `json:"tree_depth_limit,omitempty"`
+	CongestBatch   *int `json:"congest_batch,omitempty"`
+}
+
+// Options translates the JSON surface into core options.
+func (o OptionsJSON) Options() ([]core.Option, error) {
+	var opts []core.Option
+	if o.Engine != "" {
+		e, err := core.ParseEngine(o.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithEngine(e))
+	}
+	if o.Delta != nil {
+		opts = append(opts, core.WithDelta(*o.Delta))
+	}
+	if o.MinCommunitySize != nil {
+		opts = append(opts, core.WithMinCommunitySize(*o.MinCommunitySize))
+	}
+	if o.MaxWalkLength != nil {
+		opts = append(opts, core.WithMaxWalkLength(*o.MaxWalkLength))
+	}
+	if o.Patience != nil {
+		opts = append(opts, core.WithPatience(*o.Patience))
+	}
+	if o.Seed != nil {
+		opts = append(opts, core.WithSeed(*o.Seed))
+	}
+	if o.Communities != nil {
+		opts = append(opts, core.WithCommunityEstimate(*o.Communities))
+	}
+	if o.CongestWorkers != nil {
+		opts = append(opts, core.WithCongestWorkers(*o.CongestWorkers))
+	}
+	if o.TreeDepthLimit != nil {
+		opts = append(opts, core.WithTreeDepthLimit(*o.TreeDepthLimit))
+	}
+	if o.CongestBatch != nil {
+		opts = append(opts, core.WithCongestBatch(*o.CongestBatch))
+	}
+	return opts, nil
+}
+
+// statsJSON is core.CommunityStats on the wire.
+type statsJSON struct {
+	Seed         int  `json:"seed"`
+	WalkLength   int  `json:"walk_length"`
+	Stopped      bool `json:"stopped"`
+	FinalSetSize int  `json:"final_set_size"`
+	SizesChecked int  `json:"sizes_checked"`
+}
+
+func toStatsJSON(s core.CommunityStats) statsJSON {
+	return statsJSON{
+		Seed:         s.Seed,
+		WalkLength:   s.WalkLength,
+		Stopped:      s.Stopped,
+		FinalSetSize: s.FinalSetSize,
+		SizesChecked: s.SizesChecked,
+	}
+}
+
+// detectionJSON is one Detection on the wire.
+type detectionJSON struct {
+	Raw      []int     `json:"raw"`
+	Assigned []int     `json:"assigned"`
+	Stats    statsJSON `json:"stats"`
+}
+
+func toDetectionJSON(d core.Detection) detectionJSON {
+	return detectionJSON{Raw: d.Raw, Assigned: d.Assigned, Stats: toStatsJSON(d.Stats)}
+}
+
+// errorJSON is every error response's (and stream error line's) shape.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// server mounts the registry behind the HTTP surface.
+type server struct {
+	reg *Registry
+	m   *metrics.ServeMetrics
+}
+
+// NewHandler returns the cdrwd HTTP surface over reg:
+//
+//	GET    /healthz                  liveness
+//	GET    /metrics                  serving counters (Prometheus text)
+//	GET    /graphs                   list registered graphs
+//	PUT    /graphs/{name}            register a graph from an edge-list body
+//	DELETE /graphs/{name}            drop a graph (pools + cached results)
+//	POST   /graphs/{name}/generate   sample and register a PPM/Gnp graph
+//	POST   /graphs/{name}/detect     full detection (cached, collapsed)
+//	POST   /graphs/{name}/community  single-seed detection (cached)
+//	POST   /graphs/{name}/stream     NDJSON stream of detections
+//
+// m may be nil; pass the same ServeMetrics the registry counts into so
+// /metrics reports one coherent story.
+func NewHandler(reg *Registry, m *metrics.ServeMetrics) http.Handler {
+	s := &server{reg: reg, m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /graphs", s.handleList)
+	mux.HandleFunc("PUT /graphs/{name}", s.handleUpload)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
+	mux.HandleFunc("POST /graphs/{name}/generate", s.handleGenerate)
+	mux.HandleFunc("POST /graphs/{name}/detect", s.handleDetect)
+	mux.HandleFunc("POST /graphs/{name}/community", s.handleCommunity)
+	mux.HandleFunc("POST /graphs/{name}/stream", s.handleStream)
+	return s.instrument(mux)
+}
+
+// instrument counts every request and its latency. Errors are counted where
+// they are written (writeError), which sees the status decision.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.m != nil {
+			s.m.IncRequest()
+			start := time.Now()
+			defer func() { s.m.ObserveLatency(time.Since(start)) }()
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	if s.m != nil {
+		s.m.IncError()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+}
+
+// errStatus maps a serving error onto an HTTP status: unknown graphs are
+// 404, cancelled requests 499 (the de-facto client-closed-request code),
+// everything else a 400 — every remaining failure is a bad request
+// (validation, out-of-range seeds), not a server fault.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.m == nil {
+		return
+	}
+	_ = s.m.WritePrometheus(w)
+}
+
+// graphInfoJSON is one registered graph in the listing.
+type graphInfoJSON struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := s.reg.Names()
+	out := struct {
+		Graphs []graphInfoJSON `json:"graphs"`
+	}{Graphs: make([]graphInfoJSON, 0, len(names))}
+	for _, name := range names {
+		if g, ok := s.reg.Graph(name); ok {
+			out.Graphs = append(out.Graphs, graphInfoJSON{
+				Name: name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			})
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := graph.ReadEdgeList(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.reg.Register(name, g); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, graphInfoJSON{Name: name, Vertices: g.NumVertices(), Edges: g.NumEdges()})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownGraph, name))
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": name})
+}
+
+// generateRequest samples a graph server-side: the planted-partition model
+// of the paper ("ppm", the default) or a plain Erdős–Rényi graph ("gnp").
+// Seed is a pointer so an explicit 0 is honoured rather than defaulted.
+type generateRequest struct {
+	Model string  `json:"model,omitempty"`
+	N     int     `json:"n"`
+	R     int     `json:"r,omitempty"`
+	P     float64 `json:"p"`
+	Q     float64 `json:"q,omitempty"`
+	Seed  *uint64 `json:"seed,omitempty"`
+}
+
+func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req generateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	var g *graph.Graph
+	switch req.Model {
+	case "", "ppm":
+		if req.R == 0 {
+			req.R = 2
+		}
+		ppm, err := gen.NewPPM(gen.PPMConfig{N: req.N, R: req.R, P: req.P, Q: req.Q}, rng.New(seed))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		g = ppm.Graph
+	case "gnp":
+		var err error
+		g, err = gen.Gnp(req.N, req.P, rng.New(seed))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown model %q (want ppm or gnp)", req.Model))
+		return
+	}
+	if err := s.reg.Register(name, g); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, graphInfoJSON{Name: name, Vertices: g.NumVertices(), Edges: g.NumEdges()})
+}
+
+// detectResponse is the full-run answer.
+type detectResponse struct {
+	Graph       string          `json:"graph"`
+	Fingerprint string          `json:"fingerprint"`
+	Cached      bool            `json:"cached"`
+	Detections  []detectionJSON `json:"detections"`
+}
+
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req OptionsJSON
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, settings, cached, err := s.reg.Detect(r.Context(), name, opts...)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	out := detectResponse{
+		Graph:       name,
+		Fingerprint: settings.Fingerprint(),
+		Cached:      cached,
+		Detections:  make([]detectionJSON, len(res.Detections)),
+	}
+	for i, det := range res.Detections {
+		out.Detections[i] = toDetectionJSON(det)
+	}
+	writeJSON(w, out)
+}
+
+// communityRequest is a single-seed detection request.
+type communityRequest struct {
+	Seed    int         `json:"seed"`
+	Options OptionsJSON `json:"options"`
+}
+
+// communityResponse is the single-seed answer.
+type communityResponse struct {
+	Graph     string    `json:"graph"`
+	Cached    bool      `json:"cached"`
+	Community []int     `json:"community"`
+	Stats     statsJSON `json:"stats"`
+}
+
+func (s *server) handleCommunity(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req communityRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.Options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	community, stats, cached, err := s.reg.DetectCommunity(r.Context(), name, req.Seed, opts...)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, communityResponse{Graph: name, Cached: cached, Community: community, Stats: toStatsJSON(stats)})
+}
+
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req OptionsJSON
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, err := s.reg.Stream(r.Context(), name, opts...)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	// NDJSON: one detection per line, flushed as it freezes; a run error
+	// becomes one final {"error": ...} line (headers are long gone).
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for det, err := range seq {
+		if err != nil {
+			if s.m != nil {
+				s.m.IncError()
+			}
+			_ = enc.Encode(errorJSON{Error: err.Error()})
+			return
+		}
+		if encErr := enc.Encode(toDetectionJSON(det)); encErr != nil {
+			return // client went away; Stream's range stops on the next yield
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// decodeJSON parses a bounded JSON body into v; an empty body decodes as
+// the zero value so "run with the graph's defaults" needs no payload.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cdrw/internal/core"
+	"cdrw/internal/gen"
+	"cdrw/internal/metrics"
+	"cdrw/internal/rng"
+)
+
+// testPPM samples the serving workload: r separated blocks in the sparse
+// regime, the same shape the root benchmarks use.
+func testPPM(t testing.TB, n, blocks int) *gen.PPM {
+	t.Helper()
+	bs := float64(n / blocks)
+	ppm, err := gen.NewPPM(gen.PPMConfig{N: n, R: blocks, P: 2 * gen.Log2(n/blocks) / bs, Q: 0.1 / bs}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ppm
+}
+
+// TestPoolResultEquivalence: pooled answers are byte-identical to a fresh
+// solo Detector's for fixed seeds, on every engine, no matter which handle
+// serves or how often the pool is reused.
+func TestPoolResultEquivalence(t *testing.T) {
+	ppm := testPPM(t, 512, 4)
+	ctx := context.Background()
+	for _, eng := range []core.Engine{core.EngineReference, core.EngineParallel, core.EngineCongest} {
+		opts := []core.Option{
+			core.WithDelta(ppm.Config.ExpectedConductance()),
+			core.WithEngine(eng),
+			core.WithSeed(7),
+		}
+		if eng == core.EngineParallel {
+			opts = append(opts, core.WithCommunityEstimate(4))
+		}
+		fresh, err := core.NewDetector(ppm.Graph, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewDetectorPool(ppm.Graph, 2, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			got, err := p.Detect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("engine %v run %d: pooled result differs from a fresh Detector's", eng, run)
+			}
+		}
+
+		// Single-seed serving: the pooled copy must equal a fresh run and
+		// must not alias the handle's buffer (a second request may not
+		// clobber the first's answer).
+		wantComm, wantStats, err := fresh.DetectCommunity(ctx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantComm = append([]int(nil), wantComm...)
+		first, gotStats, err := p.DetectCommunity(ctx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.DetectCommunity(ctx, 300); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, wantComm) || gotStats != wantStats {
+			t.Fatalf("engine %v: pooled community differs from a fresh Detector's", eng)
+		}
+	}
+}
+
+// TestPoolBoundedAdmission: a size-1 pool admits one request at a time;
+// a waiting checkout honours its context and counts a pool wait.
+func TestPoolBoundedAdmission(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	m := metrics.NewServeMetrics()
+	p, err := NewDetectorPool(ppm.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMetrics(m)
+	ctx := context.Background()
+	d, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("idle %d with the only handle lent out", p.Idle())
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked acquire: error %v, want DeadlineExceeded", err)
+	}
+	if m.Snapshot().PoolWaits == 0 {
+		t.Fatal("blocked acquire did not count a pool wait")
+	}
+	p.Release(d)
+	if p.Idle() != 1 {
+		t.Fatalf("idle %d after release, want 1", p.Idle())
+	}
+	if _, err := NewDetectorPool(ppm.Graph, 0); err == nil {
+		t.Fatal("size-0 pool accepted")
+	}
+}
+
+// TestPoolStreamReturnsHandle: breaking out of a pooled stream returns the
+// handle, and a pool with no free handle yields exactly one error when the
+// waiter's ctx dies.
+func TestPoolStreamReturnsHandle(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	p, err := NewDetectorPool(ppm.Graph, 1, core.WithDelta(ppm.Config.ExpectedConductance()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for det, err := range p.Stream(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = det
+		break // abandon the stream mid-run
+	}
+	if p.Idle() != 1 {
+		t.Fatalf("idle %d after abandoned stream, want 1", p.Idle())
+	}
+
+	d, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	sawErr := 0
+	for _, err := range p.Stream(short) {
+		if err == nil {
+			t.Fatal("starved stream yielded a detection")
+		}
+		sawErr++
+	}
+	if sawErr != 1 {
+		t.Fatalf("starved stream yielded %d errors, want 1", sawErr)
+	}
+	p.Release(d)
+}
+
+// TestPoolConcurrentStress hammers pools of every engine from many
+// goroutines with mixed full-run, single-seed and cancelled-mid-request
+// traffic; run under -race this is the pool's central safety test. Results
+// of the uncancelled requests must all be byte-identical to the fresh
+// reference answer.
+func TestPoolConcurrentStress(t *testing.T) {
+	ppm := testPPM(t, 512, 4)
+	ctx := context.Background()
+	delta := ppm.Config.ExpectedConductance()
+
+	for _, tc := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"reference", []core.Option{core.WithDelta(delta), core.WithSeed(7)}},
+		{"parallel", []core.Option{core.WithDelta(delta), core.WithSeed(7),
+			core.WithEngine(core.EngineParallel), core.WithCommunityEstimate(4)}},
+		{"congest", []core.Option{core.WithDelta(delta), core.WithSeed(7),
+			core.WithEngine(core.EngineCongest), core.WithCongestBatch(2)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, err := core.NewDetector(ppm.Graph, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Detect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantComm, _, err := fresh.DetectCommunity(ctx, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantComm = append([]int(nil), wantComm...)
+
+			p, err := NewDetectorPool(ppm.Graph, 3, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 12
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 4; i++ {
+						switch (w + i) % 3 {
+						case 0:
+							res, err := p.Detect(ctx)
+							if err != nil {
+								errs[w] = err
+								return
+							}
+							if !reflect.DeepEqual(res, want) {
+								errs[w] = errors.New("pooled Detect diverged from reference")
+								return
+							}
+						case 1:
+							comm, _, err := p.DetectCommunity(ctx, 1)
+							if err != nil {
+								errs[w] = err
+								return
+							}
+							if !reflect.DeepEqual(comm, wantComm) {
+								errs[w] = errors.New("pooled DetectCommunity diverged from reference")
+								return
+							}
+						default:
+							// Cancel mid-request: the handle must come back
+							// clean and serve correct answers afterwards.
+							cctx, cancel := context.WithTimeout(ctx, time.Duration(1+i)*time.Millisecond)
+							_, err := p.Detect(cctx)
+							cancel()
+							if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+								errs[w] = err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			if p.Idle() != p.Size() {
+				t.Fatalf("%d of %d handles missing after the stress run", p.Size()-p.Idle(), p.Size())
+			}
+		})
+	}
+}

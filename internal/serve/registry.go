@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"cdrw/internal/core"
+	"cdrw/internal/graph"
+	"cdrw/internal/metrics"
+)
+
+// ErrUnknownGraph reports a request against a name the registry does not
+// hold; the HTTP layer maps it to 404.
+var ErrUnknownGraph = errors.New("serve: unknown graph")
+
+// maxPoolsPerGraph bounds how many distinct option fingerprints keep a live
+// pool per graph; past it the registry evicts an arbitrary idle fingerprint
+// (in-flight requests keep their pool alive through their own reference).
+const maxPoolsPerGraph = 16
+
+// defaultCacheCap bounds the registry's result cache (FIFO eviction).
+const defaultCacheCap = 256
+
+// Registry maps named graphs to detector pools and fronts them with a
+// result cache and singleflight collapsing:
+//
+//   - one entry per name, created by Register and atomically swapped by a
+//     repeated Register of the same name (replacement invalidates every
+//     cached result and pool of the old graph);
+//   - per entry, one DetectorPool per resolved option fingerprint
+//     (core.Settings.Fingerprint), created lazily — requests with the same
+//     options share warmed handles, requests with different options do not
+//     contend;
+//   - full-run results are cached per (graph generation, fingerprint) —
+//     every run is deterministic in its resolved settings, so a cached
+//     Result is bit-identical to recomputing it — and identical in-flight
+//     requests collapse onto one run instead of each burning a handle.
+//
+// Cached results are shared between callers and must be treated as
+// read-only; the daemon only marshals them.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	poolSize int
+	m        *metrics.ServeMetrics
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	cache   map[string]*core.Result
+	comm    map[string]commCached
+	order   []string // cache+comm insertion order, for FIFO eviction
+	flights map[string]*flight
+}
+
+// entry is one named graph with its base options and per-fingerprint pools.
+type entry struct {
+	g     *graph.Graph
+	opts  []core.Option
+	gen   int // bumped on replacement; stale cache keys become unreachable
+	pools map[string]*DetectorPool
+}
+
+// commCached is one cached single-seed answer.
+type commCached struct {
+	community []int
+	stats     core.CommunityStats
+}
+
+// flight is one in-flight Detect run identical requests collapse onto.
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// NewRegistry returns an empty registry whose pools hold poolSize handles
+// each (values < 1 select GOMAXPROCS). m receives the cache/collapse/wait
+// counters and may be nil.
+func NewRegistry(poolSize int, m *metrics.ServeMetrics) *Registry {
+	if poolSize < 1 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	return &Registry{
+		poolSize: poolSize,
+		m:        m,
+		entries:  make(map[string]*entry),
+		cache:    make(map[string]*core.Result),
+		comm:     make(map[string]commCached),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Register installs (or replaces) the named graph with the given base
+// options, which every request on that graph inherits (request options are
+// applied on top). Replacing a graph invalidates its cached results and
+// drops its pools; requests already running on the old graph finish
+// undisturbed on it.
+func (r *Registry) Register(name string, g *graph.Graph, opts ...core.Option) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty graph name")
+	}
+	// Validate the base options up front so a bad Register fails loudly
+	// instead of failing every later request.
+	if _, err := core.Resolve(g.NumVertices(), opts...); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen := 0
+	if old, ok := r.entries[name]; ok {
+		gen = old.gen + 1
+		r.invalidateLocked(name)
+	}
+	r.entries[name] = &entry{g: g, opts: opts, gen: gen, pools: make(map[string]*DetectorPool)}
+	return nil
+}
+
+// Remove drops the named graph, its pools and its cached results. It
+// reports whether the name was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	r.invalidateLocked(name)
+	delete(r.entries, name)
+	return true
+}
+
+// invalidateLocked sweeps every cached result of name. Generation bumps
+// already make stale keys unreachable; the sweep keeps the cache from
+// carrying dead weight until FIFO eviction finds it.
+func (r *Registry) invalidateLocked(name string) {
+	prefix := cachePrefix(name)
+	kept := r.order[:0]
+	for _, k := range r.order {
+		if strings.HasPrefix(k, prefix) {
+			delete(r.cache, k)
+			delete(r.comm, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.order = kept
+}
+
+// Names returns the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Graph returns the named graph.
+func (r *Registry) Graph(name string) (*graph.Graph, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.g, true
+}
+
+// Pool returns the pool serving the named graph under the given request
+// options (applied over the graph's base options), creating it on first
+// use. The second return carries the entry's generation and resolved
+// settings for cache keying.
+func (r *Registry) Pool(name string, opts ...core.Option) (*DetectorPool, int, core.Settings, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, 0, core.Settings{}, fmt.Errorf("%w %q", ErrUnknownGraph, name)
+	}
+	merged := append(append([]core.Option(nil), e.opts...), opts...)
+	settings, err := core.Resolve(e.g.NumVertices(), merged...)
+	if err != nil {
+		return nil, 0, core.Settings{}, err
+	}
+	fp := settings.Fingerprint()
+	if p, ok := e.pools[fp]; ok {
+		return p, e.gen, settings, nil
+	}
+	p, err := NewDetectorPool(e.g, r.poolSize, merged...)
+	if err != nil {
+		return nil, 0, core.Settings{}, err
+	}
+	p.SetMetrics(r.m)
+	if len(e.pools) >= maxPoolsPerGraph {
+		for k := range e.pools {
+			delete(e.pools, k)
+			break
+		}
+	}
+	e.pools[fp] = p
+	return p, e.gen, settings, nil
+}
+
+func cachePrefix(name string) string {
+	// Length-prefix the name so no graph name can forge another's keys.
+	return fmt.Sprintf("%d:%s#", len(name), name)
+}
+
+// cacheKey identifies one cachable request: graph name + generation +
+// request kind + resolved option fingerprint.
+func cacheKey(name string, gen int, kind string, fp string) string {
+	return fmt.Sprintf("%s%d|%s|%s", cachePrefix(name), gen, kind, fp)
+}
+
+// rememberLocked inserts key into the FIFO order, evicting the oldest
+// entries past the cache cap.
+func (r *Registry) rememberLocked(key string) {
+	r.order = append(r.order, key)
+	for len(r.order) > defaultCacheCap {
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.cache, old)
+		delete(r.comm, old)
+	}
+}
+
+// Detect serves a full pool-loop detection of the named graph under the
+// given options, returning the resolved settings it ran with (for response
+// fingerprints) and whether the result came from the cache. Identical
+// requests — same graph generation, same resolved fingerprint — share one
+// computation: the first caller runs it on a pooled handle, concurrent
+// duplicates wait for that run (honouring their own ctx), and later callers
+// hit the cache. A collapsed caller whose leader was cancelled — the
+// leader's client hung up, not this one — retries as a fresh leader instead
+// of inheriting the foreign cancellation. The returned Result is shared;
+// treat it as read-only.
+func (r *Registry) Detect(ctx context.Context, name string, opts ...core.Option) (*core.Result, core.Settings, bool, error) {
+	p, gen, settings, err := r.Pool(name, opts...)
+	if err != nil {
+		return nil, core.Settings{}, false, err
+	}
+	key := cacheKey(name, gen, "detect", settings.Fingerprint())
+
+	var f *flight
+	for {
+		r.mu.Lock()
+		if res, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			if r.m != nil {
+				r.m.IncCacheHit()
+			}
+			return res, settings, true, nil
+		}
+		lead, inFlight := r.flights[key]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			r.flights[key] = f
+			r.mu.Unlock()
+			break
+		}
+		r.mu.Unlock()
+		if r.m != nil {
+			r.m.IncCollapsed()
+		}
+		select {
+		case <-lead.done:
+			if leaderCancelled(lead.err) && ctx.Err() == nil {
+				continue // dead leader, live follower: take over
+			}
+			return lead.res, settings, false, lead.err
+		case <-ctx.Done():
+			return nil, settings, false, fmt.Errorf("serve: %w", ctx.Err())
+		}
+	}
+	if r.m != nil {
+		r.m.IncCacheMiss()
+	}
+
+	res, err := p.Detect(ctx)
+	f.res, f.err = res, err
+
+	r.mu.Lock()
+	delete(r.flights, key)
+	if err == nil {
+		if _, dup := r.cache[key]; !dup {
+			r.cache[key] = res
+			r.rememberLocked(key)
+		}
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return res, settings, false, err
+}
+
+// leaderCancelled reports whether a flight failed with its leader's context
+// cancellation — an error that says nothing about the followers' requests.
+func leaderCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// DetectCommunity serves a single-seed detection of the named graph, cached
+// per (generation, fingerprint, seed) like Detect. The returned slice is
+// shared; treat it as read-only.
+func (r *Registry) DetectCommunity(ctx context.Context, name string, seed int, opts ...core.Option) ([]int, core.CommunityStats, bool, error) {
+	p, gen, settings, err := r.Pool(name, opts...)
+	if err != nil {
+		return nil, core.CommunityStats{}, false, err
+	}
+	key := cacheKey(name, gen, fmt.Sprintf("community:%d", seed), settings.Fingerprint())
+
+	r.mu.Lock()
+	if c, ok := r.comm[key]; ok {
+		r.mu.Unlock()
+		if r.m != nil {
+			r.m.IncCacheHit()
+		}
+		return c.community, c.stats, true, nil
+	}
+	r.mu.Unlock()
+	if r.m != nil {
+		r.m.IncCacheMiss()
+	}
+
+	out, stats, err := p.DetectCommunity(ctx, seed)
+	if err != nil {
+		return nil, stats, false, err
+	}
+	r.mu.Lock()
+	if _, dup := r.comm[key]; !dup {
+		r.comm[key] = commCached{community: out, stats: stats}
+		r.rememberLocked(key)
+	}
+	r.mu.Unlock()
+	return out, stats, false, nil
+}
+
+// Stream serves a streaming detection of the named graph — always a live
+// run on a pooled handle (streams are not cached; their value is the
+// incremental delivery).
+func (r *Registry) Stream(ctx context.Context, name string, opts ...core.Option) (func(yield func(core.Detection, error) bool), error) {
+	p, _, _, err := r.Pool(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Stream(ctx), nil
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cdrw/internal/core"
+	"cdrw/internal/metrics"
+)
+
+// TestRegistryCacheAndInvalidation: a repeated Detect with the same
+// fingerprint is a cache hit returning the very same Result; changing any
+// option misses; replacing the graph invalidates.
+func TestRegistryCacheAndInvalidation(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	m := metrics.NewServeMetrics()
+	reg := NewRegistry(2, m)
+	ctx := context.Background()
+	if err := reg.Register("g", ppm.Graph, core.WithDelta(ppm.Config.ExpectedConductance())); err != nil {
+		t.Fatal(err)
+	}
+
+	res1, _, cached, err := reg.Detect(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first Detect reported a cache hit")
+	}
+	res2, _, cached, err := reg.Detect(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || res2 != res1 {
+		t.Fatal("second identical Detect did not hit the cache")
+	}
+	if s := m.Snapshot(); s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("cache counters %+v, want 1 hit / 1 miss", s)
+	}
+
+	// A different fingerprint is a different cache line.
+	if _, _, cached, err = reg.Detect(ctx, "g", core.WithSeed(99)); err != nil || cached {
+		t.Fatalf("option-changed Detect: cached=%v err=%v, want fresh run", cached, err)
+	}
+
+	// Replacement invalidates: same options, fresh run, and the answer now
+	// reflects the new graph.
+	ppm2 := testPPM(t, 128, 2)
+	if err := reg.Register("g", ppm2.Graph, core.WithDelta(ppm2.Config.ExpectedConductance())); err != nil {
+		t.Fatal(err)
+	}
+	res3, _, cached, err := reg.Detect(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("Detect after graph replacement hit the stale cache")
+	}
+	if reflect.DeepEqual(res3, res1) {
+		t.Fatal("post-replacement result identical to the old graph's")
+	}
+
+	// Single-seed caching follows the same rules, keyed additionally by seed.
+	c1, _, cached, err := reg.DetectCommunity(ctx, "g", 5)
+	if err != nil || cached {
+		t.Fatalf("first community: cached=%v err=%v", cached, err)
+	}
+	c2, _, cached, err := reg.DetectCommunity(ctx, "g", 5)
+	if err != nil || !cached {
+		t.Fatalf("second community: cached=%v err=%v, want hit", cached, err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("cached community differs from computed one")
+	}
+	if _, _, cached, err = reg.DetectCommunity(ctx, "g", 6); err != nil || cached {
+		t.Fatalf("different seed: cached=%v err=%v, want fresh run", cached, err)
+	}
+
+	if _, _, _, err := reg.Detect(ctx, "nope"); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+	if !reg.Remove("g") || reg.Remove("g") {
+		t.Fatal("Remove bookkeeping wrong")
+	}
+	if _, _, _, err := reg.Detect(ctx, "g"); err == nil {
+		t.Fatal("removed graph still served")
+	}
+}
+
+// TestRegistrySingleflight: identical concurrent Detects collapse onto one
+// run — the detection observer fires for exactly one pool-loop execution,
+// and every caller gets the same *Result.
+func TestRegistrySingleflight(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	m := metrics.NewServeMetrics()
+	reg := NewRegistry(4, m)
+	ctx := context.Background()
+
+	started := make(chan struct{})  // first run reached the observer
+	release := make(chan struct{})  // test lets the run finish
+	var once, releaseOnce sync.Once //
+	obs := func(_ core.Detection) { // blocks the run until released
+		once.Do(func() { close(started) })
+		<-release
+	}
+	if err := reg.Register("g", ppm.Graph,
+		core.WithDelta(ppm.Config.ExpectedConductance()),
+		core.WithDetectionObserver(core.SynchronizedDetectionObserver(obs))); err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 4
+	results := make([]*core.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				// Leader: the others fire only once it is inside the run.
+				results[i], _, _, errs[i] = reg.Detect(ctx, "g")
+				return
+			}
+			<-started
+			results[i], _, _, errs[i] = reg.Detect(ctx, "g")
+		}(i)
+	}
+	go func() {
+		<-started
+		// Give the followers a moment to park on the flight, then let every
+		// pending observer call (all from the single run) through.
+		releaseOnce.Do(func() { close(release) })
+	}()
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d received a different Result pointer", i)
+		}
+	}
+	s := m.Snapshot()
+	if s.CacheMisses != 1 {
+		t.Fatalf("%d cache misses, want exactly 1 computed run", s.CacheMisses)
+	}
+	if s.Collapsed+s.CacheHits != callers-1 {
+		t.Fatalf("collapsed=%d hits=%d, want the other %d callers absorbed", s.Collapsed, s.CacheHits, callers-1)
+	}
+}
+
+// TestRegistryPoolReuse: same fingerprint → same pool; different
+// fingerprint → different pool; base and request options merge.
+func TestRegistryPoolReuse(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	reg := NewRegistry(2, nil)
+	if err := reg.Register("g", ppm.Graph, core.WithSeed(3)); err != nil {
+		t.Fatal(err)
+	}
+	p1, _, s1, err := reg.Pool("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Seed != 3 {
+		t.Fatalf("base option lost: seed %d, want 3", s1.Seed)
+	}
+	p2, _, _, err := reg.Pool("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Fatal("same fingerprint produced a second pool")
+	}
+	p3, _, s3, err := reg.Pool("g", core.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 || s3.Seed != 4 {
+		t.Fatal("request option did not override the base into a distinct pool")
+	}
+	// Invalid merged options surface as errors, not panics.
+	if _, _, _, err := reg.Pool("g", core.WithEngine(core.EngineParallel)); err == nil {
+		t.Fatal("parallel engine without a community estimate accepted")
+	}
+}
+
+// TestRegistrySingleflightLeaderCancelled: a follower collapsed onto a
+// leader whose own client hangs up must not inherit the foreign
+// cancellation — it retries as a fresh leader and gets a real result.
+func TestRegistrySingleflightLeaderCancelled(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	reg := NewRegistry(2, nil)
+	ctx := context.Background()
+
+	started := make(chan struct{}) // leader's run reached the observer
+	block := make(chan struct{})   // held until the leader is cancelled
+	var mu sync.Mutex
+	first := true
+	obs := func(core.Detection) {
+		mu.Lock()
+		isFirst := first
+		first = false
+		mu.Unlock()
+		if isFirst {
+			close(started)
+			<-block
+		}
+	}
+	if err := reg.Register("g", ppm.Graph,
+		core.WithDelta(ppm.Config.ExpectedConductance()),
+		core.WithDetectionObserver(core.SynchronizedDetectionObserver(obs))); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(ctx)
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := reg.Detect(leaderCtx, "g")
+		leaderErr <- err
+	}()
+	<-started
+	followerDone := make(chan error, 1)
+	var followerRes *core.Result
+	go func() {
+		res, _, _, err := reg.Detect(ctx, "g")
+		followerRes = res
+		followerDone <- err
+	}()
+	// Kill the leader's client, then unblock its observer so the
+	// cancellation lands between pool iterations.
+	cancelLeader()
+	close(block)
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error %v, want context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower inherited the leader's fate: %v", err)
+	}
+	if followerRes == nil || len(followerRes.Detections) == 0 {
+		t.Fatal("follower retry produced no result")
+	}
+}
