@@ -19,11 +19,19 @@ custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
   * BenchmarkDetectorPoolThroughput/warm serves fewer than 5x the
     requests/s of .../fresh — the serving subsystem's acceptance bar
     (warm-cache pooled serving vs per-request Detector construction),
-    also gated absolutely.
+    also gated absolutely, or
+  * a cache-aware kernel pair at n=10⁶ falls below its absolute speedup
+    bar against the reference kernel measured in the same run:
+    BenchmarkSweepKernel1M/compact and BenchmarkFloodKernel1M/blocked
+    must beat their .../reference siblings by >= 1.3x, and
+    BenchmarkPoolWarmup/shared must cost <= 1/4 the bytes/handle of
+    .../solo (the shared per-generation index bundle's acceptance bar).
+    These pairs run non-short only; CI appends the full-size results to
+    head.bench before gating, and a missing pair fails the gate.
 
 Pass "-" as the base file to skip the regression comparison and run only
-the absolute allocation gate. Benchmarks that exist only on one side are
-reported but never gate — new benchmarks have no baseline, and renamed
+the absolute gates. Benchmarks that exist only on one side are reported
+but never gate relatively — new benchmarks have no baseline, and renamed
 ones should not wedge CI.
 
 Usage: bench_gate.py base.bench|- head.bench [threshold-percent]
@@ -34,8 +42,9 @@ import sys
 
 NS_UNITS = ("ns/op", "ns/step", "ns/sweep", "rounds/op")
 ALLOC_UNIT = "allocs/op"
+BYTES_UNIT = "bytes/handle"
 GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv",
-                    "DetectorPool")
+                    "DetectorPool", "MixSweep", "DetectStep")
 ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense",
                          "BenchmarkBatchWalkEngineReuse")
 
@@ -47,6 +56,22 @@ ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense"
 POOL_FRESH = "BenchmarkDetectorPoolThroughput/fresh"
 POOL_WARM = "BenchmarkDetectorPoolThroughput/warm"
 POOL_SPEEDUP_MIN = 5.0
+
+# Absolute kernel-pair gates at n=10⁶, each measured head-only against its
+# reference sibling in the same run: (label, reference key, optimised key,
+# unit, minimum reference/optimised ratio). Like the pool-throughput gate,
+# a pair missing from head means the acceptance benchmark itself broke.
+PAIR_GATES = (
+    ("SweepKernel1M compact/reference",
+     "BenchmarkSweepKernel1M/reference", "BenchmarkSweepKernel1M/compact",
+     "ns/sweep", 1.3),
+    ("FloodKernel1M blocked/reference",
+     "BenchmarkFloodKernel1M/reference", "BenchmarkFloodKernel1M/blocked",
+     "ns/step", 1.3),
+    ("PoolWarmup shared/solo",
+     "BenchmarkPoolWarmup/solo", "BenchmarkPoolWarmup/shared",
+     BYTES_UNIT, 4.0),
+)
 
 
 def load(path):
@@ -61,7 +86,7 @@ def load(path):
             # BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
             name = parts[0].rsplit("-", 1)[0]
             for value, unit in zip(parts[1:], parts[2:]):
-                if unit in NS_UNITS or unit == ALLOC_UNIT:
+                if unit in NS_UNITS or unit == ALLOC_UNIT or unit == BYTES_UNIT:
                     try:
                         metrics[(name, unit)].append(float(value))
                     except ValueError:
@@ -114,10 +139,26 @@ def main():
         print("DetectorPoolThroughput fresh/warm pair missing from head REGRESSION")
         failed.append(POOL_WARM)
 
+    # Absolute gates: each cache-aware kernel against its reference sibling,
+    # measured within the head run (no baseline drift).
+    for label, ref_name, opt_name, unit, want in PAIR_GATES:
+        ref_key, opt_key = (ref_name, unit), (opt_name, unit)
+        if ref_key in head and opt_key in head:
+            ref, opt = median(head[ref_key]), median(head[opt_key])
+            ratio = ref / opt if opt > 0 else float("inf")
+            status = "ok" if ratio >= want else "REGRESSION"
+            print(f"{opt_name} [{unit}]: {ratio:,.2f}x better than reference "
+                  f"(want >= {want:g}x) {status}")
+            if ratio < want:
+                failed.append(opt_name)
+        else:
+            print(f"{label} pair missing from head REGRESSION")
+            failed.append(opt_name)
+
     # Relative gate: ns-valued regressions against the base ref.
     for key in sorted(head):
         name, unit = key
-        if unit == ALLOC_UNIT or not any(s in name for s in GATED_SUBSTRINGS):
+        if unit not in NS_UNITS or not any(s in name for s in GATED_SUBSTRINGS):
             continue
         if not base:
             continue

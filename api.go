@@ -136,9 +136,19 @@ type (
 	WalkEngine = rw.WalkEngine
 	// BatchWalkEngine advances many walks in lockstep, each on the hybrid
 	// kernel, with a per-walk sparse-aware LargestMixingSet over one
-	// shared degree index; SetFused optionally merges the dense steps of
-	// the whole batch into one interleaved pass over the adjacency arrays.
+	// shared degree index. When several walks go dense, the engine decides
+	// from the graph's degree statistics (batch width × estimated neighbour
+	// spread vs the cache budget) whether to merge their dense steps into
+	// one fused interleaved pass over the adjacency arrays; SetFused
+	// overrides the automatic choice in either direction.
 	BatchWalkEngine = rw.BatchWalkEngine
+	// SharedIndex is the immutable per-graph table bundle (degree-sorted
+	// sweep index, inverse-degree flood table) that pooled detectors share:
+	// build one per graph with NewSharedIndex, inject it with
+	// WithSharedIndex, and any number of detectors across goroutines read
+	// it concurrently. Tables build lazily on first use; Warm builds them
+	// eagerly off the request path.
+	SharedIndex = rw.SharedIndex
 	// MixSweeper runs largest-mixing-set searches over one graph with the
 	// sparse fast path exposed directly: pass the distribution's support
 	// (ascending) for O(support)-per-size sweeps, or nil for the dense
@@ -149,6 +159,10 @@ type (
 
 // NewMixSweeper returns a sweeper over g with its own degree-sorted index.
 func NewMixSweeper(g *Graph) *MixSweeper { return rw.NewSweeper(g) }
+
+// NewSharedIndex returns an empty shared table bundle over g; tables build
+// lazily (and exactly once) on first use, or eagerly via Warm.
+func NewSharedIndex(g *Graph) *SharedIndex { return rw.NewSharedIndex(g) }
 
 // Walk constants of Algorithm 1.
 const (
@@ -355,6 +369,12 @@ var (
 	// resolution on Parallel). Always invoked sequentially; never needs
 	// internal locking.
 	WithDetectionObserver = core.WithDetectionObserver
+	// WithSharedIndex injects a prebuilt SharedIndex so pooled detectors
+	// over one graph share a single set of immutable tables instead of
+	// building private copies. Results never change (the tables are pure
+	// functions of the graph), so injection does not appear in the settings
+	// fingerprint; NewDetector rejects a bundle built over another graph.
+	WithSharedIndex = core.WithSharedIndex
 	// SynchronizedObserver wraps a step observer in a mutex so it is safe
 	// under the Parallel engine without hand-rolled locking.
 	SynchronizedObserver = core.SynchronizedObserver
@@ -389,9 +409,19 @@ type (
 )
 
 // NewDetectorPool builds a pool of size warmed detectors over g, all with
-// the same options (resolved and validated exactly like NewDetector).
+// the same options (resolved and validated exactly like NewDetector). The
+// handles share one warmed SharedIndex built here, so pool warm-up pays the
+// O(n) table builds once rather than per handle.
 func NewDetectorPool(g *Graph, size int, opts ...Option) (*DetectorPool, error) {
 	return serve.NewDetectorPool(g, size, opts...)
+}
+
+// NewDetectorPoolWithIndex is NewDetectorPool with a caller-owned shared
+// table bundle, letting several pools over one graph share a single
+// SharedIndex (what GraphRegistry does per graph generation). ix nil builds
+// a fresh bundle for this pool.
+func NewDetectorPoolWithIndex(g *Graph, size int, ix *SharedIndex, opts ...Option) (*DetectorPool, error) {
+	return serve.NewDetectorPoolWithIndex(g, size, ix, opts...)
 }
 
 // NewGraphRegistry returns an empty registry whose pools hold poolSize

@@ -865,3 +865,101 @@ func BenchmarkLPABaseline(b *testing.B) {
 		}
 	}
 }
+
+// --- Memory-hierarchy kernel benchmarks (n = 10⁶, skipped with -short) ---
+//
+// CI's bench job runs these in a separate non-short invocation and gates
+// them head-only (no baseline needed): BenchmarkSweepKernel1M/compact must
+// finish a sweep at least 1.3x faster than .../reference, and
+// BenchmarkPoolWarmup/solo must allocate at least 4x the bytes/handle of
+// .../shared — see .github/bench_gate.py.
+
+// BenchmarkSweepKernel1M: one full candidate-size ladder sweep over a
+// full-support distribution at n = 10⁶ — the dense regime. reference is the
+// package-level dense sweep (fresh scratch, per-size x-value recomputation);
+// compact is the sweeper's frontier-compacted path (exact support extraction
+// into the degree-sorted index, prefix-summed degrees, quickselect per
+// size), which is bit-identical by the equivalence suites.
+func BenchmarkSweepKernel1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	g := benchWalkGraph(b, 1_000_000)
+	p := cdrw.Stationary(g)
+	minSize := benchMinSize(g.NumVertices())
+
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cdrw.LargestMixingSet(g, p, minSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sweep")
+	})
+	b.Run("compact", func(b *testing.B) {
+		sw := cdrw.NewMixSweeper(g)
+		if _, err := sw.LargestMixingSet(p, nil, minSize, cdrw.MixOptions{}); err != nil {
+			b.Fatal(err) // warm the degree index and retained scratch
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.LargestMixingSet(p, nil, minSize, cdrw.MixOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sweep")
+	})
+}
+
+// BenchmarkPoolWarmup: warm-up allocation cost per pooled handle at
+// n = 10⁶, pool size 8. solo builds and warms 8 independent detectors, each
+// with private tables (the pre-shared-index behaviour); shared builds one
+// DetectorPool, whose handles share a single warmed index bundle. The
+// bytes/handle metric is the total heap allocation of warm-up divided by
+// the handle count.
+func BenchmarkPoolWarmup(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	g := benchWalkGraph(b, 1_000_000)
+	const handles = 8
+	opts := []cdrw.Option{cdrw.WithSeed(7)}
+
+	measure := func(b *testing.B, build func() error) {
+		b.Helper()
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N*handles), "bytes/handle")
+	}
+
+	b.Run("solo", func(b *testing.B) {
+		measure(b, func() error {
+			for i := 0; i < handles; i++ {
+				d, err := cdrw.NewDetector(g, opts...)
+				if err != nil {
+					return err
+				}
+				d.Warm()
+			}
+			return nil
+		})
+	})
+	b.Run("shared", func(b *testing.B) {
+		measure(b, func() error {
+			_, err := cdrw.NewDetectorPool(g, handles, opts...)
+			return err
+		})
+	})
+}

@@ -108,12 +108,7 @@ func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error)
 		}
 		walks[i].p[s] = 1
 	}
-	degInv := make([]float64, n)
-	for v := 0; v < n; v++ {
-		if d := g.Degree(v); d > 0 {
-			degInv[v] = 1 / float64(d)
-		}
-	}
+	degInv := nw.degInvTable()
 
 	// Phase 1: every walk builds its BFS tree; the builds share rounds, so
 	// the phase costs max tree depth, not the sum.
@@ -202,10 +197,15 @@ func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error)
 // its own per-neighbour messages (exactly floodStep's), while the observers
 // see the aggregate — link (v,w) carries one word per live walk holding mass
 // at v, reported as a single LinkLoad with that multiplicity. The
-// computation is fused: one pass over the adjacency arrays evolves every
-// walk, pulling each neighbour list once instead of once per walk, with each
-// walk's per-vertex accumulation in exactly floodStep's order so the evolved
-// distributions are bit-identical to sequential flooding.
+// computation is fused and blocked like floodStep: an interleave pass
+// freezes every live walk's outgoing shares into rows of shareAll (row v
+// holds the k walks' shares at v, side by side on one cache line), then a
+// tiled gather pulls each neighbour list once and accumulates every walk
+// from the row its neighbour ids address — k walks cost one random-access
+// stream of k-wide rows instead of k scattered (p, degInv) streams. Per walk
+// each share is the exact product the unbatched kernel computes and the
+// accumulation order over neighbours is unchanged, so the evolved
+// distributions stay bit-identical to sequential flooding.
 func batchFlood(nw *Network, walks []*batchWalk, degInv []float64, counts []int32) {
 	g := nw.Graph()
 	observing := nw.observing()
@@ -239,20 +239,34 @@ func batchFlood(nw *Network, walks []*batchWalk, degInv []float64, counts []int3
 		}
 		nw.phaseLoads[0] = loads
 	}
-	nw.parallelFor(g.NumVertices(), func(u int) {
-		ns := g.Neighbors(u)
-		for _, w := range walks {
-			if !w.active {
-				continue
+	n := g.NumVertices()
+	k := len(walks)
+	shareAll := nw.floodShareAll(n * k)
+	for v := 0; v < n; v++ {
+		row := shareAll[v*k : v*k+k]
+		dv := degInv[v]
+		for j, w := range walks {
+			if w.active {
+				row[j] = w.p[v] * dv
 			}
-			sum := 0.0
-			for _, nb := range ns {
-				sum += w.p[nb] * degInv[nb]
+		}
+	}
+	nw.parallelRanges(n, floodTile, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			ns := g.Neighbors(u)
+			for j, w := range walks {
+				if !w.active {
+					continue
+				}
+				sum := 0.0
+				for _, nb := range ns {
+					sum += shareAll[int(nb)*k+j]
+				}
+				if len(ns) == 0 {
+					sum = w.p[u] // isolated nodes keep their mass
+				}
+				w.next[u] = sum
 			}
-			if len(ns) == 0 {
-				sum = w.p[u] // isolated nodes keep their mass
-			}
-			w.next[u] = sum
 		}
 	})
 	for _, w := range walks {

@@ -203,26 +203,20 @@ func detectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 // walkState is the node-local flooding state (distribution, spare buffer,
 // inverse-degree table) shared by DetectCommunity and EstimateConductance,
 // so the two entry points cannot drift in how they initialise and evolve
-// the walk.
+// the walk. degInv aliases the network's shared read-only table.
 type walkState struct {
 	p, next rw.Dist
 	degInv  []float64
 }
 
 func newWalkState(nw *Network, source int) *walkState {
-	g := nw.Graph()
-	n := g.NumVertices()
+	n := nw.Graph().NumVertices()
 	ws := &walkState{
 		p:      make(rw.Dist, n),
 		next:   make(rw.Dist, n),
-		degInv: make([]float64, n),
+		degInv: nw.degInvTable(),
 	}
 	ws.p[source] = 1
-	for v := 0; v < n; v++ {
-		if d := g.Degree(v); d > 0 {
-			ws.degInv[v] = 1 / float64(d)
-		}
-	}
 	return ws
 }
 
@@ -232,10 +226,55 @@ func (ws *walkState) flood(nw *Network) {
 	ws.p, ws.next = ws.next, ws.p
 }
 
+// floodTile is the gather tile of the blocked flood kernels: each worker
+// streams through tile-sized slices of the output array (8·tile = 256 KiB of
+// next per tile, L2-resident) while reading the share table through the CSR
+// neighbour lists.
+const floodTile = 1 << 15
+
 // floodStep performs one communication round of probability flooding
 // (Algorithm 1 lines 9–11): every node holding probability mass sends
 // p(v)/d(v) to each neighbour; every node sums what it receives.
+//
+// The kernel is the blocked form of floodStepReference: one sequential pass
+// fuses the send accounting with freezing every node's outgoing share
+// share[v] = p[v]·degInv[v], then a tiled gather accumulates next[u] =
+// Σ share[w] over u's neighbours — a branch-free multiply-free inner loop
+// with a single random-access stream (share) where the reference chased two
+// (p and degInv). Each share is the exact product the reference computes
+// inside its inner loop and the accumulation order over neighbours is
+// unchanged, so the evolved distribution is bit-identical (the equivalence
+// suite enforces it). Isolated nodes keep their mass, as before.
 func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
+	g := nw.Graph()
+	round := nw.beginRound()
+	share := nw.floodShare(len(p))
+	for v, mass := range p {
+		share[v] = mass * degInv[v]
+		if mass != 0 && g.Degree(v) > 0 {
+			nw.sendAllNeighbors(v)
+		}
+	}
+	nw.parallelRanges(len(next), floodTile, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			sum := 0.0
+			for _, w := range g.Neighbors(u) {
+				sum += share[w]
+			}
+			if g.Degree(u) == 0 {
+				sum = p[u] // isolated nodes keep their mass
+			}
+			next[u] = sum
+		}
+	})
+	nw.endRound(round)
+}
+
+// floodStepReference is the unblocked flood kernel floodStep replaced, kept
+// as the equivalence baseline: the flood conformance test asserts the two
+// kernels evolve bit-identical distributions, and the kernel-pair benchmark
+// measures the blocked kernel's speedup against this one.
+func (nw *Network) floodStepReference(p, next rw.Dist, degInv []float64) {
 	g := nw.Graph()
 	round := nw.beginRound()
 	for v, mass := range p {

@@ -1,0 +1,100 @@
+package congest
+
+import (
+	"testing"
+
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+	"cdrw/internal/rw"
+)
+
+// raggedGraph builds a random graph with isolated vertices, hubs and leaves,
+// so the flood kernels see every degree regime at once.
+func raggedGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	b := graph.NewDedupBuilder(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		// Leave the top eighth of the id space mostly isolated.
+		if u != v && (u < 7*n/8 || r.Intn(4) == 0) {
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFloodStepMatchesReference: the blocked share-precompute kernel evolves
+// distributions bit-identical to the reference kernel — same floats, same
+// message and round accounting — sequentially and under the tiled parallel
+// executor, across graphs with isolated vertices.
+func TestFloodStepMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := raggedGraph(t, 512, uint64(workers))
+		n := g.NumVertices()
+		blocked := NewNetwork(g, workers)
+		reference := NewNetwork(g, workers)
+		degInv := blocked.degInvTable()
+
+		p1, n1 := make(rw.Dist, n), make(rw.Dist, n)
+		p2, n2 := make(rw.Dist, n), make(rw.Dist, n)
+		p1[3], p2[3] = 1, 1
+
+		for step := 1; step <= 12; step++ {
+			blocked.floodStep(p1, n1, degInv)
+			reference.floodStepReference(p2, n2, degInv)
+			p1, n1 = n1, p1
+			p2, n2 = n2, p2
+			for v := range p1 {
+				if p1[v] != p2[v] {
+					t.Fatalf("workers=%d step %d vertex %d: blocked %g != reference %g",
+						workers, step, v, p1[v], p2[v])
+				}
+			}
+		}
+		mb, mr := blocked.Metrics(), reference.Metrics()
+		if mb.Rounds != mr.Rounds || mb.Messages != mr.Messages {
+			t.Fatalf("workers=%d: blocked accounting {%d rounds, %d msgs} != reference {%d rounds, %d msgs}",
+				workers, mb.Rounds, mb.Messages, mr.Rounds, mr.Messages)
+		}
+	}
+}
+
+// TestNetworkSharedIndexRouting: a network built over a shared bundle reads
+// the bundle's tables instead of building private copies, and detection
+// results do not change.
+func TestNetworkSharedIndexRouting(t *testing.T) {
+	g := gnpGraph(t, 256, 9)
+	ix := rw.NewSharedIndex(g).Warm()
+	shared := NewNetworkWithIndex(g, 1, ix)
+	if shared.degreeIndex() != ix.Degree() {
+		t.Fatal("network built a private degree index despite the shared bundle")
+	}
+	if &shared.degInvTable()[0] != &ix.DegInv()[0] {
+		t.Fatal("network built a private degInv table despite the shared bundle")
+	}
+
+	cfg := DefaultConfig(g.NumVertices())
+	cfg.Seed = 11
+	want, wantStats, err := DetectCommunity(NewNetwork(g, 1), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := DetectCommunity(NewNetworkWithIndex(g, 1, ix), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || gotStats != wantStats {
+		t.Fatalf("shared-index detection diverged: %d vertices %+v vs %d vertices %+v",
+			len(got), gotStats, len(want), wantStats)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("community vertex %d: shared %d != private %d", i, got[i], want[i])
+		}
+	}
+}

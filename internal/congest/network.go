@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rw"
@@ -104,12 +105,21 @@ type Network struct {
 	ctxErr error
 
 	// Selection fast-path state (selectKSmallestIndexed), built lazily and
-	// retained across runs.
+	// retained across runs. When shared is non-nil the degree index and the
+	// inverse-degree table come from it instead of being built per network.
+	shared  *rw.SharedIndex
 	degIdx  *rw.DegreeIndex
+	dinv    []float64
 	off     rw.OffSupportStream
 	support []int32
 	xsup    []float64
 	selKeys []key
+
+	// Flood-kernel scratch (floodStep/batchFlood), retained across rounds:
+	// shareBuf holds the per-source outgoing shares of a solo flood, shareAll
+	// the vertex-interleaved shares of a batched flood.
+	shareBuf []float64
+	shareAll []float64
 }
 
 // NewNetwork returns a CONGEST network over g. workers controls how many
@@ -117,10 +127,20 @@ type Network struct {
 // select the sequential executor. Results are identical either way — nodes
 // only read the previous round's state and write their own slot.
 func NewNetwork(g *graph.Graph, workers int) *Network {
+	return NewNetworkWithIndex(g, workers, nil)
+}
+
+// NewNetworkWithIndex is NewNetwork with a caller-owned shared index bundle:
+// the network reads its degree index and inverse-degree table from ix
+// instead of building private copies, so many networks over one graph (a
+// detector pool, or repeated runs on one registry generation) share one set
+// of immutable tables. ix nil selects private lazily-built tables; ix must
+// otherwise index the same graph g.
+func NewNetworkWithIndex(g *graph.Graph, workers int, ix *rw.SharedIndex) *Network {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Network{g: g, workers: workers}
+	return &Network{g: g, workers: workers, shared: ix}
 }
 
 // SetObserver installs a per-round message observer (pass nil to remove).
@@ -381,15 +401,103 @@ func (nw *Network) parallelFor(n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// degreeIndex lazily builds the degree-sorted index behind the selection
-// fast path (selectKSmallestIndexed). It models node-local knowledge — every
-// node knows its own degree, and the root learns the degree distribution
-// once during setup — so it costs no simulated communication per query.
+// parallelRanges runs fn over [0, n) split into half-open tiles of at most
+// tile indices, handed to the workers through an atomic cursor. It is the
+// blocked counterpart of parallelFor for kernels whose inner loop is written
+// over a range: the tile bounds the slice of the output array one worker
+// streams through at a time (pick tile so that slice stays L2-resident), and
+// the range form amortises the per-index closure call of parallelFor away.
+// fn must only write state owned by its index range; every tile is executed
+// exactly once, so deterministic kernels stay deterministic regardless of
+// which worker draws which tile.
+func (nw *Network) parallelRanges(n, tile int, fn func(lo, hi int)) {
+	if nw.workers < 2 || n <= tile {
+		for lo := 0; lo < n; lo += tile {
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(1)-1) * tile
+				if lo >= n {
+					return
+				}
+				hi := lo + tile
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// degreeIndex returns the degree-sorted index behind the selection fast path
+// (selectKSmallestIndexed): the injected shared index's copy when one was
+// provided, a private lazily-built one otherwise. It models node-local
+// knowledge — every node knows its own degree, and the root learns the
+// degree distribution once during setup — so it costs no simulated
+// communication per query.
 func (nw *Network) degreeIndex() *rw.DegreeIndex {
 	if nw.degIdx == nil {
-		nw.degIdx = rw.NewDegreeIndex(nw.g)
+		if nw.shared != nil {
+			nw.degIdx = nw.shared.Degree()
+		} else {
+			nw.degIdx = rw.NewDegreeIndex(nw.g)
+		}
 	}
 	return nw.degIdx
+}
+
+// degInvTable returns the read-only inverse-degree table the flood kernels
+// multiply by (1/d(v), 0 for isolated vertices) — shared when an index
+// bundle was injected, otherwise built once per network. Like degreeIndex it
+// is node-local knowledge and costs no simulated communication.
+func (nw *Network) degInvTable() []float64 {
+	if nw.dinv == nil {
+		if nw.shared != nil {
+			nw.dinv = nw.shared.DegInv()
+		} else {
+			n := nw.g.NumVertices()
+			inv := make([]float64, n)
+			for v := 0; v < n; v++ {
+				if d := nw.g.Degree(v); d > 0 {
+					inv[v] = 1 / float64(d)
+				}
+			}
+			nw.dinv = inv
+		}
+	}
+	return nw.dinv
+}
+
+// floodShare returns the solo flood kernel's per-source share scratch, sized
+// for n vertices and retained across rounds.
+func (nw *Network) floodShare(n int) []float64 {
+	if cap(nw.shareBuf) < n {
+		nw.shareBuf = make([]float64, n)
+	}
+	return nw.shareBuf[:n]
+}
+
+// floodShareAll returns the batched flood kernel's interleaved share
+// scratch, sized for n·k values and retained across rounds.
+func (nw *Network) floodShareAll(nk int) []float64 {
+	if cap(nw.shareAll) < nk {
+		nw.shareAll = make([]float64, nk)
+	}
+	return nw.shareAll[:nk]
 }
 
 // checkVertex validates a vertex index against the network size.

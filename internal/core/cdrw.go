@@ -47,6 +47,7 @@ type config struct {
 	congestBatch int             // congest batched-pool size (≤ 1 = sequential)
 	congest      *congest.Config // WithCongest escape hatch, used verbatim
 	detObs       func(Detection) // WithDetectionObserver streaming callback
+	shared       *rw.SharedIndex // WithSharedIndex injection (nil = private)
 }
 
 // Option customises a CDRW run.

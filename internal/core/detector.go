@@ -86,6 +86,9 @@ func NewDetector(g *graph.Graph, opts ...Option) (*Detector, error) {
 	if err := cfg.validate(g.NumVertices()); err != nil {
 		return nil, err
 	}
+	if cfg.shared != nil && cfg.shared.Graph() != g {
+		return nil, fmt.Errorf("core: shared index was built over a different graph")
+	}
 	return &Detector{g: g, cfg: cfg, settings: cfg.snapshot()}, nil
 }
 
@@ -105,10 +108,29 @@ func (d *Detector) CongestMetrics() (congest.Metrics, bool) {
 	return d.lastCongest, d.ranCongest
 }
 
-// degreeIndex lazily builds the shared degree-sorted sweep index.
+// sharedIndex returns the detector's immutable index bundle: the injected
+// one (WithSharedIndex) when present, otherwise a private bundle created on
+// first demand. Every engine-level index — the degree-sorted sweep index,
+// the CONGEST network's tables — is drawn from this bundle, so injection
+// covers all three engines at once.
+func (d *Detector) sharedIndex() *rw.SharedIndex {
+	if d.cfg.shared == nil {
+		d.cfg.shared = rw.NewSharedIndex(d.g)
+	}
+	return d.cfg.shared
+}
+
+// Warm eagerly builds the detector's immutable index tables (degree-sorted
+// sweep index, inverse-degree flood table), so the first request on the
+// detector does not pay the O(n) builds. With an injected shared index that
+// has already been warmed this is free; serving pools warm one bundle and
+// hand it to every handle.
+func (d *Detector) Warm() { d.sharedIndex().Warm() }
+
+// degreeIndex returns the degree-sorted sweep index from the shared bundle.
 func (d *Detector) degreeIndex() *rw.DegreeIndex {
 	if d.idx == nil {
-		d.idx = rw.NewDegreeIndex(d.g)
+		d.idx = d.sharedIndex().Degree()
 	}
 	return d.idx
 }
@@ -126,7 +148,7 @@ func (d *Detector) walkEngine() *rw.WalkEngine {
 // detector's runs; CongestMetrics reports per-run deltas.
 func (d *Detector) network() *congest.Network {
 	if d.nw == nil {
-		d.nw = congest.NewNetwork(d.g, d.congestConfig().Workers)
+		d.nw = congest.NewNetworkWithIndex(d.g, d.congestConfig().Workers, d.sharedIndex())
 	}
 	return d.nw
 }

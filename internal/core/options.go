@@ -124,6 +124,21 @@ func WithDetectionObserver(fn func(Detection)) Option {
 	return func(c *config) { c.detObs = fn }
 }
 
+// WithSharedIndex injects a prebuilt bundle of the immutable per-graph
+// tables (degree-sorted sweep index, inverse-degree flood table) into the
+// Detector instead of letting it build private copies: every pooled handle
+// over one graph then shares a single ~28-bytes/vertex set of tables, which
+// is what drops DetectorPool warm-up cost and resident bytes by roughly the
+// pool size. ix must have been built over the same graph the Detector is
+// given (NewDetector rejects a mismatch) and is read-only from the moment it
+// is shared, so any number of detectors across goroutines may hold it.
+// Injection never changes results — the tables are pure functions of the
+// graph — so it deliberately does not appear in Settings or the run
+// fingerprint. Passing nil restores the private default.
+func WithSharedIndex(ix *rw.SharedIndex) Option {
+	return func(c *config) { c.shared = ix }
+}
+
 // SynchronizedObserver wraps a step observer in a mutex so it can be passed
 // to WithStepObserver under DetectParallel (which invokes the observer from
 // one goroutine per live walk) without hand-rolling locking in the callback.

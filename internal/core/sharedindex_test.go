@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cdrw/internal/rw"
+)
+
+// TestDetectorSharedIndexConformance: on every engine, a Detector running on
+// an injected pre-warmed shared bundle returns byte-identical results to a
+// solo Detector that builds its own tables — the contract that lets pools
+// share one bundle without appearing in the settings fingerprint.
+func TestDetectorSharedIndexConformance(t *testing.T) {
+	ppm := ppmGraph(t, 128, 2, 2, 0.1, 83)
+	g := ppm.Graph
+	ix := rw.NewSharedIndex(g).Warm()
+	base := []Option{WithDelta(ppm.Config.ExpectedConductance()), WithSeed(5)}
+
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"reference", base},
+		{"parallel", append(append([]Option(nil), base...), WithEngine(EngineParallel), WithCommunityEstimate(2))},
+		{"congest", append(append([]Option(nil), base...), WithEngine(EngineCongest))},
+	}
+	ctx := context.Background()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			solo, err := NewDetector(g, c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected, err := NewDetector(g, append(append([]Option(nil), c.opts...), WithSharedIndex(ix))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := solo.Detect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := injected.Detect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("shared-index Detect differs from solo Detect")
+			}
+			if solo.Settings() != injected.Settings() ||
+				solo.Settings().Fingerprint() != injected.Settings().Fingerprint() {
+				t.Fatal("injection leaked into the resolved settings")
+			}
+			if c.name == "parallel" {
+				return // single-seed serving below exercises the pool-loop engines
+			}
+			for _, s := range []int{0, 64, 127} {
+				wc, ws, err := solo.DetectCommunity(ctx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wc = append([]int(nil), wc...) // detector owns the buffer
+				gc, gs, err := injected.DetectCommunity(ctx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gc, wc) || gs != ws {
+					t.Fatalf("shared-index DetectCommunity(%d) differs from solo", s)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorSharedIndexGraphMismatch: a bundle built over another graph is
+// rejected at construction, not silently read against the wrong CSR arrays.
+func TestDetectorSharedIndexGraphMismatch(t *testing.T) {
+	a := ppmGraph(t, 64, 2, 2, 0.1, 84).Graph
+	b := ppmGraph(t, 64, 2, 2, 0.1, 85).Graph
+	_, err := NewDetector(a, WithSharedIndex(rw.NewSharedIndex(b)))
+	if err == nil || !strings.Contains(err.Error(), "different graph") {
+		t.Fatalf("mismatched bundle accepted (err = %v)", err)
+	}
+}

@@ -1,0 +1,83 @@
+package rw
+
+import "cdrw/internal/graph"
+
+// Automatic kernel selection for BatchWalkEngine's dense regime.
+//
+// The fused interleaved pass helps exactly when a solo dense step's memory
+// traffic misses the cache: stepping one walk scatters into next[] at its
+// sources' neighbour indices, so the step's working set is roughly the index
+// window the edges span — p and next entries across the typical |v − w|
+// distance — not all of n. On community-structured graphs (PPM/SBM with
+// id-contiguous blocks) that window is one block and per-walk stepping stays
+// cache-resident, while on expander-like graphs (Gnp, random regular) edges
+// jump uniformly and the window is the whole array pair. The decision
+// therefore needs two numbers: how far edges reach (spread) and how big the
+// per-walk arrays are (n) — batching K walks through the interleaved store
+// then pays off once K ≥ 4 walks would each thrash that window on their own
+// (below that the fused pass's interleave and k-wide rows cost more than the
+// saved cache lines).
+
+const (
+	// fuseCacheBudget is the per-walk working-set size past which per-walk
+	// dense stepping is assumed memory-bound: ~an L2 slice. Measured on
+	// full-support walks at n = 10⁶ (see PAPER.md "Memory hierarchy"):
+	// Gnp (spread 0.34) lands ~2.6× over the budget and the fused gather
+	// wins 2.0× at k=8 and 1.7× at k=16, while 10-block PPM (spread 0.06)
+	// lands under it and per-walk stepping stays ahead — up to 1.7× at
+	// k=2 — so misclassifying either side costs more than the boundary's
+	// slack.
+	fuseCacheBudget = 2 << 20
+
+	// fuseSampleTargets caps the vertices whose edges the spread estimate
+	// reads; sampling keeps the estimate O(targets · avg degree) — paid once
+	// per engine — instead of O(m).
+	fuseSampleTargets = 1024
+)
+
+// estimateSpread estimates the graph's normalised edge reach: the mean of
+// |v − w| / n over the edges of ~fuseSampleTargets vertices sampled on a
+// fixed stride (deterministic — kernel choice must not perturb seeded runs).
+// Id-contiguous community structure yields small values (edges stay inside a
+// block); expander-like graphs approach the uniform-pair mean 1/3.
+func estimateSpread(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	stride := n / fuseSampleTargets
+	if stride < 1 {
+		stride = 1
+	}
+	var sum float64
+	cnt := 0
+	for v := 0; v < n; v += stride {
+		for _, w := range g.Neighbors(v) {
+			d := int(w) - v
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt) / float64(n)
+}
+
+// fuseFromStats is the pure kernel-selection rule: fuse a K-walk batch on an
+// n-vertex graph with the given edge spread iff a solo dense step's working
+// set — 16·n·spread bytes of p plus next across the spanned index window —
+// overflows the cache budget and there are at least four walks to amortise
+// the fused pass over (at n = 10⁶ on Gnp, k=2 fused measures a wash while
+// k=8 wins 2.0× — the interleave pass and k-wide row reads need enough
+// columns to pay for themselves). Logic kept free of the engine so the
+// threshold behaviour is unit-testable.
+func fuseFromStats(n, k int, spread float64) bool {
+	if k < 4 {
+		return false
+	}
+	return 16*float64(n)*spread > fuseCacheBudget
+}

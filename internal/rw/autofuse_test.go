@@ -1,0 +1,210 @@
+package rw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+// TestFuseFromStats pins the auto-fuse decision rule: fuse only batches of
+// at least four walks whose per-walk dense working set (16 bytes per vertex
+// per pass, scaled by how far apart neighbours land) overflows the cache
+// budget.
+func TestFuseFromStats(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, k   int
+		spread float64
+		want   bool
+	}{
+		{"single walk never fuses", 1 << 20, 1, 1.0, false},
+		{"zero walks never fuse", 1 << 20, 0, 1.0, false},
+		{"pair too small to amortise the pass", 1 << 20, 2, 0.3, false},
+		{"small graph fits cache", 10_000, 8, 0.5, false},
+		{"large graph local structure", 1 << 20, 4, 0.001, false},
+		{"large graph scattered neighbours", 1 << 20, 4, 0.3, true},
+		{"million-vertex expander", 1_000_000, 4, 0.33, true},
+	}
+	for _, c := range cases {
+		if got := fuseFromStats(c.n, c.k, c.spread); got != c.want {
+			t.Errorf("%s: fuseFromStats(%d, %d, %g) = %t, want %t",
+				c.name, c.n, c.k, c.spread, got, c.want)
+		}
+	}
+}
+
+// TestEstimateSpread: neighbour spread separates locally-structured graphs
+// (a cycle's neighbours are adjacent ids) from scattered ones (Gnp endpoints
+// are uniform, mean |v-w|/n → 1/3), and the stride-sampled estimate is
+// deterministic.
+func TestEstimateSpread(t *testing.T) {
+	n := 4096
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	cycle, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnp, err := gen.Gnp(n, 8.0/float64(n), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := estimateSpread(cycle)
+	scattered := estimateSpread(gnp)
+	if local >= 0.05 {
+		t.Errorf("cycle spread %g, want < 0.05 (neighbours are adjacent ids)", local)
+	}
+	if scattered <= 0.2 {
+		t.Errorf("Gnp spread %g, want > 0.2 (uniform endpoints)", scattered)
+	}
+	if again := estimateSpread(gnp); again != scattered {
+		t.Errorf("estimateSpread not deterministic: %g then %g", scattered, again)
+	}
+
+	empty, err := graph.NewBuilder(16).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := estimateSpread(empty); s != 0 {
+		t.Errorf("edgeless spread %g, want 0", s)
+	}
+}
+
+// TestBatchAutoFuseMatchesForcedModes: whatever the heuristic decides, the
+// three fuse modes stay bit-identical along a dense batched walk — auto is a
+// performance choice, never a results choice.
+func TestBatchAutoFuseMatchesForcedModes(t *testing.T) {
+	ppm := randomPPM(t, 41)
+	n := ppm.Graph.NumVertices()
+	sources := []int{0, n / 3, n - 1}
+
+	engines := make(map[string]*BatchWalkEngine)
+	for _, mode := range []string{"auto", "fused", "unfused"} {
+		eng, err := NewBatchWalkEngine(ppm.Graph, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch mode {
+		case "fused":
+			eng.SetFused(true)
+		case "unfused":
+			eng.SetFused(false)
+		}
+		engines[mode] = eng
+	}
+	for step := 1; step <= 12; step++ {
+		for _, eng := range engines {
+			eng.Step()
+		}
+		for i := range sources {
+			want := engines["auto"].Dist(i)
+			for _, mode := range []string{"fused", "unfused"} {
+				got := engines[mode].Dist(i)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("step %d walk %d vertex %d: %s %g != auto %g",
+							step, i, v, mode, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDenseSweepMatchesReferenceProperty: the compact dense path (nil
+// support: exact support extraction + bitmap-ordered index walk) stays
+// bit-identical to the package-level dense reference across random graphs,
+// random dense-ish distributions and repeated sweeps on one reused sweeper.
+func TestDenseSweepMatchesReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ppm := sweepPPM(t, seed)
+		g := ppm.Graph
+		n := g.NumVertices()
+		sw := NewSweeper(g)
+		for round := 0; round < 3; round++ {
+			p := make(Dist, n)
+			// Mostly-full support with holes: the regime the dense sweep
+			// serves, including exact zeros it must skip.
+			for v := range p {
+				if r.Float64() < 0.9 {
+					p[v] = r.Float64()
+				}
+			}
+			minSize := 1 + r.Intn(6)
+			want, err := LargestMixingSetOpt(g, p, minSize, MixOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sw.LargestMixingSet(p, nil, minSize, MixOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Sum != want.Sum || got.SizesChecked != want.SizesChecked ||
+				len(got.Vertices) != len(want.Vertices) {
+				t.Fatalf("dense sweep diverged: got {sum %v, checked %d, |S| %d}, want {sum %v, checked %d, |S| %d}",
+					got.Sum, got.SizesChecked, len(got.Vertices),
+					want.Sum, want.SizesChecked, len(want.Vertices))
+			}
+			for i, v := range want.Vertices {
+				if got.Vertices[i] != v {
+					t.Fatalf("dense sweep vertex %d: got %d want %d", i, got.Vertices[i], v)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedIndexLifecycle: one bundle serves concurrent readers, builds
+// each table exactly once, and Warm pre-builds both.
+func TestSharedIndexLifecycle(t *testing.T) {
+	ppm := randomPPM(t, 17)
+	g := ppm.Graph
+	ix := NewSharedIndex(g)
+	if ix.Graph() != g {
+		t.Fatal("SharedIndex.Graph returns a different graph")
+	}
+
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			deg := ix.Degree()
+			inv := ix.DegInv()
+			if deg == nil || len(inv) != g.NumVertices() {
+				t.Error("shared tables missing or mis-sized")
+			}
+		}()
+	}
+	deg, inv := ix.Degree(), ix.DegInv()
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if ix.Degree() != deg {
+		t.Fatal("Degree rebuilt on second call")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		want := 0.0
+		if d := g.Degree(v); d > 0 {
+			want = 1 / float64(d)
+		}
+		if inv[v] != want {
+			t.Fatalf("DegInv[%d] = %g, want %g", v, inv[v], want)
+		}
+	}
+
+	warmed := NewSharedIndex(g).Warm()
+	if warmed.Degree() == nil || warmed.DegInv() == nil {
+		t.Fatal("Warm did not build the tables")
+	}
+}

@@ -232,25 +232,40 @@ func (e *WalkEngine) LargestMixingSetDense(minSize int, opt MixOptions) (MixingS
 
 // BatchWalkEngine advances many walks over the same graph in lockstep, each
 // walk on the hybrid sparse/dense kernel and bit-identical to a solo
-// WalkEngine. SetFused additionally moves dense walks into a shared
+// WalkEngine. Fusion additionally moves dense walks into a shared
 // vertex-interleaved store — the K walk masses of a vertex sit side by side
 // on one cache line — advanced by a single fused pass over the CSR arrays
 // per step. Fusion trades per-walk write locality for K× fewer touched
 // cache lines per edge: on community-structured graphs (PPM/SBM), where a
-// solo walk's writes already stay inside one block's index range, the
-// default unfused stepping measures faster; on expander-like graphs at
-// scales where one walk's arrays outgrow the cache, the fused pass wins.
+// solo walk's writes already stay inside one block's index range, per-walk
+// stepping measures faster; on expander-like graphs at scales where one
+// walk's random-access window outgrows the cache, the fused pass wins. By
+// default the engine picks the kernel itself from the graph's edge-locality
+// statistics (see fuseFromStats); SetFused overrides the choice either way.
 type BatchWalkEngine struct {
-	g       *graph.Graph
-	idx     *DegreeIndex // shared by every walk's sparse sweep
-	walks   []*WalkEngine
-	halted  []bool
-	fused   bool
-	inBatch []bool    // walk's distribution lives in the interleaved store
-	pAll    []float64 // len K·n, row v holds the K walks' masses at v
-	nextAll []float64
-	cols    []int // scratch: interleaved columns advanced this step
+	g        *graph.Graph
+	idx      *DegreeIndex // shared by every walk's sparse sweep
+	walks    []*WalkEngine
+	halted   []bool
+	fuseMode fuseMode
+	spread   float64 // cached estimateSpread(g), for the auto decision
+	spreadOK bool
+	inBatch  []bool    // walk's distribution lives in the interleaved store
+	pAll     []float64 // len K·n, row v holds the K walks' masses at v
+	nextAll  []float64
+	shareAll []float64 // len K·n, row v holds the K walks' outgoing shares at v
+	cols     []int     // scratch: interleaved columns advanced this step
 }
+
+// fuseMode selects the dense kernel of a batch: decided from graph
+// statistics (default), or forced on/off by SetFused.
+type fuseMode uint8
+
+const (
+	fuseAuto fuseMode = iota
+	fuseOn
+	fuseOff
+)
 
 // NewBatchWalkEngine returns a batch of point-source walks, one per source.
 // Duplicate sources are allowed (the walks evolve independently).
@@ -299,7 +314,7 @@ func (b *BatchWalkEngine) Reset(sources []int) error {
 	}
 	if len(sources) != len(b.walks) && b.pAll != nil {
 		// The interleaved store's stride is the walk count; realloc lazily.
-		b.pAll, b.nextAll = nil, nil
+		b.pAll, b.nextAll, b.shareAll = nil, nil, nil
 	}
 	// Resize by reslicing up to capacity, so engines built for an earlier,
 	// larger batch survive a shrink and are found again on the next grow;
@@ -410,10 +425,11 @@ func (b *BatchWalkEngine) Active() int {
 	return n
 }
 
-// SetFused switches the dense walks between per-walk stepping (default) and
-// the fused interleaved pass. Turning fusion off mid-run materialises every
-// batched walk back into its own engine. Either way the walks' evolution is
-// bit-identical, so the toggle is purely a performance choice.
+// SetFused forces the dense walks onto per-walk stepping (false) or the
+// fused interleaved pass (true), overriding the engine's automatic choice.
+// Turning fusion off mid-run materialises every batched walk back into its
+// own engine. Either way the walks' evolution is bit-identical, so the
+// toggle is purely a performance choice.
 func (b *BatchWalkEngine) SetFused(on bool) {
 	if !on {
 		for i := range b.walks {
@@ -422,8 +438,29 @@ func (b *BatchWalkEngine) SetFused(on bool) {
 				b.inBatch[i] = false
 			}
 		}
+		b.fuseMode = fuseOff
+		return
 	}
-	b.fused = on
+	b.fuseMode = fuseOn
+}
+
+// shouldFuse resolves the batch's dense kernel for this step: an explicit
+// SetFused wins; otherwise the decision comes from the graph's edge-locality
+// statistics and the batch size. The spread estimate is computed once per
+// engine (the graph is immutable) and the rule itself is O(1), so the auto
+// path re-resolves cheaply even as Reset changes the batch size.
+func (b *BatchWalkEngine) shouldFuse() bool {
+	switch b.fuseMode {
+	case fuseOn:
+		return true
+	case fuseOff:
+		return false
+	}
+	if !b.spreadOK {
+		b.spread = estimateSpread(b.g)
+		b.spreadOK = true
+	}
+	return fuseFromStats(b.g.NumVertices(), len(b.walks), b.spread)
 }
 
 // StepWalk advances walk i alone by one hybrid step. It is the concurrency
@@ -457,7 +494,7 @@ func (b *BatchWalkEngine) Step() {
 			e.sparseStep()
 			continue
 		}
-		if b.fused {
+		if b.shouldFuse() {
 			b.join(i)
 			b.cols = append(b.cols, i)
 		} else {
@@ -477,6 +514,7 @@ func (b *BatchWalkEngine) join(i int) {
 	if b.pAll == nil {
 		b.pAll = make([]float64, k*n)
 		b.nextAll = make([]float64, k*n)
+		b.shareAll = make([]float64, k*n)
 	}
 	e := b.walks[i]
 	for v := 0; v < n; v++ {
@@ -486,30 +524,51 @@ func (b *BatchWalkEngine) join(i int) {
 }
 
 // fusedStep is the dense kernel fused across the batched columns: one pass
-// over the CSR arrays advances them all. Per walk the accumulation order
-// matches Step exactly (sources in ascending order), so each column evolves
-// bit-identically to a solo dense walk.
+// over the CSR arrays advances them all. Like congest's blocked flood
+// kernel, the pass is share-precompute + gather: an interleave pass freezes
+// each column's outgoing share per vertex into rows of shareAll (row v holds
+// the batched walks' shares at v, side by side on one cache line), then a
+// gather pulls each neighbour list once and accumulates every column from
+// the k-wide rows its neighbour ids address — the random-access stream is
+// one shared row stream instead of a scattered read-modify-write per edge
+// per walk. Per walk each share is the exact quotient the solo kernel
+// computes and each output accumulates its in-neighbours' shares in the
+// same ascending order Step's scatter delivers them (zero shares are exact
+// additive identities over non-negative partial sums), so each column
+// evolves bit-identically to a solo dense walk.
 func (b *BatchWalkEngine) fusedStep() {
 	g := b.g
 	k := len(b.walks)
-	clear(b.nextAll)
 	n := g.NumVertices()
 	for v := 0; v < n; v++ {
-		ns := g.Neighbors(v)
 		row := b.pAll[v*k : v*k+k]
+		sh := b.shareAll[v*k : v*k+k]
+		if d := float64(g.Degree(v)); d > 0 {
+			for _, j := range b.cols {
+				sh[j] = row[j] / d
+			}
+		} else {
+			for _, j := range b.cols {
+				sh[j] = 0
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(u)
+		out := b.nextAll[u*k : u*k+k]
+		if len(ns) == 0 {
+			row := b.pAll[u*k : u*k+k]
+			for _, j := range b.cols {
+				out[j] = row[j] // isolated walks keep their mass
+			}
+			continue
+		}
 		for _, j := range b.cols {
-			pv := row[j]
-			if pv == 0 {
-				continue
-			}
-			if len(ns) == 0 {
-				b.nextAll[v*k+j] += pv
-				continue
-			}
-			share := pv / float64(len(ns))
+			sum := 0.0
 			for _, w := range ns {
-				b.nextAll[int(w)*k+j] += share
+				sum += b.shareAll[int(w)*k+j]
 			}
+			out[j] = sum
 		}
 	}
 	b.pAll, b.nextAll = b.nextAll, b.pAll

@@ -1,0 +1,75 @@
+package rw
+
+import (
+	"sync"
+
+	"cdrw/internal/graph"
+)
+
+// SharedIndex bundles the immutable per-graph tables every engine derives
+// from the adjacency structure — the DegreeIndex driving the sparse sweep
+// and the inverse-degree table driving the CONGEST flood kernels — so that
+// many detectors over one graph can share a single copy instead of each
+// rebuilding its own (~28 bytes/vertex per copy).
+//
+// Each table is built at most once, on first demand, guarded by a sync.Once;
+// after that it is never written again. That makes a SharedIndex safe to
+// hand to any number of goroutines: concurrent first readers synchronise on
+// the Once, later readers see frozen memory. Serving layers that want the
+// build cost off the request path call Warm at pool construction.
+//
+// A SharedIndex is tied to the graph it was built from. Holders of a new
+// graph generation build a new SharedIndex; the old one stays valid for
+// detectors still running on the old graph and is reclaimed with them.
+type SharedIndex struct {
+	g *graph.Graph
+
+	degOnce sync.Once
+	deg     *DegreeIndex
+
+	invOnce sync.Once
+	inv     []float64
+}
+
+// NewSharedIndex returns an empty (cold) index bundle over g. No table is
+// built until first use or Warm.
+func NewSharedIndex(g *graph.Graph) *SharedIndex {
+	return &SharedIndex{g: g}
+}
+
+// Graph returns the graph the bundle indexes.
+func (ix *SharedIndex) Graph() *graph.Graph { return ix.g }
+
+// Degree returns the shared DegreeIndex, building it on first call.
+func (ix *SharedIndex) Degree() *DegreeIndex {
+	ix.degOnce.Do(func() { ix.deg = NewDegreeIndex(ix.g) })
+	return ix.deg
+}
+
+// DegInv returns the shared inverse-degree table: inv[v] = 1/d(v) for
+// vertices with edges, 0 for isolated ones. The CONGEST flood kernels
+// multiply by these exact reciprocals (their historical formulation), so the
+// table stores 1/float64(d) verbatim — not a value derived from the
+// DegreeIndex — to keep every flood pass bit-identical to the kernels that
+// used to build the same table privately. Read-only; callers must not write.
+func (ix *SharedIndex) DegInv() []float64 {
+	ix.invOnce.Do(func() {
+		n := ix.g.NumVertices()
+		inv := make([]float64, n)
+		for v := 0; v < n; v++ {
+			if d := ix.g.Degree(v); d > 0 {
+				inv[v] = 1 / float64(d)
+			}
+		}
+		ix.inv = inv
+	})
+	return ix.inv
+}
+
+// Warm builds every table now, so later readers never pay the build on a
+// request path. It returns the receiver for chaining.
+func (ix *SharedIndex) Warm() *SharedIndex {
+	ix.Degree()
+	ix.DegInv()
+	return ix
+}

@@ -126,22 +126,19 @@ type Sweeper struct {
 	muPrime float64
 	target  float64 // off-support value 1/size on an edgeless graph
 
-	x    []float64    // dense-path scratch, n values
 	xsup []float64    // explicit x per support slot
 	ents []sweepEntry // explicit entries, permuted by selection
 	sel  []bool       // per-slot selection marks, cleared after use
 	wpos []int32      // support positions in idx.order, ascending
 	wdeg []int64      // prefix degree sums over wpos
-	out  []int        // sparse-path result buffer, reused across sweeps
+	out  []int        // result buffer, reused across sweeps
 
-	// Dense-path selection scratch, reused across sweeps so the dense
-	// regime serves allocation-free too: dIdx is the quickselect
-	// permutation, dSel the current size's selected set, dBest the last
-	// accepted set (swapped with dSel on acceptance so the winner survives
-	// later, rejected sizes).
-	dIdx  []int
-	dSel  []int
-	dBest []int
+	// Dense-path frontier compaction scratch, reused across sweeps so the
+	// dense regime serves allocation-free too: supBuf receives the exact
+	// support extracted from p, supBits marks it for the degree-order scan
+	// (n/64 bytes — L2-resident at n = 10⁶ — and all-zero between sweeps).
+	supBuf  []int32
+	supBits []uint64
 
 	// Ladder cache: the candidate sizes depend only on (minSize, growth, n),
 	// which are fixed across the steps of a detection loop; recomputing the
@@ -193,6 +190,12 @@ func (s *Sweeper) LargestMixingSet(p Dist, support []int32, minSize int, opt Mix
 		}
 	}
 	s.prepare(support)
+	return s.sweepLadder(p, support, minSize, opt)
+}
+
+// sweepLadder evaluates the whole candidate-size ladder over a prepared
+// support and materialises the largest passing size once at the end.
+func (s *Sweeper) sweepLadder(p Dist, support []int32, minSize int, opt MixOptions) (MixingSet, error) {
 	ladder := s.sizeLadder(minSize, opt.Growth)
 	best := MixingSet{}
 	bestSize := 0
@@ -224,83 +227,80 @@ func (s *Sweeper) sizeLadder(minSize int, growth float64) []int {
 	return s.ladder
 }
 
-// denseSweep is LargestMixingSetOpt over the sweeper's reusable buffers:
-// the x scratch, the quickselect index permutation and the two selection
-// buffers are all retained across sweeps, so steady-state dense sweeps
-// allocate nothing. Results are bit-identical to denseSweepSize (same
-// quickselect, same ascending-id summation). Like the sparse path, the
+// denseSweep is LargestMixingSetOpt over the sweeper's reusable buffers.
+// Instead of replaying the reference's O(n)-per-ladder-size full scan, it
+// compacts the frontier once — one sequential pass over p extracts the exact
+// support (skipping a zero mass changes nothing: off-support x-values have
+// the closed degree form either way) and marks it in the L2-resident supBits
+// bitmap — and then runs the explicit/implicit merge of the sparse machinery
+// over that support. Every later ladder size touches O(support) explicit
+// values plus index probes, never the n-sized arrays, which is what turns
+// the early-walk dense sweep from a memory-bound O(n·ladder) scan into a
+// cache-resident pass. Outputs are bit-identical to the reference: the
+// extracted support is exactly the support the sparse sweep is equivalence-
+// tested with, explicit values use the exact XValueAt expression, and both
+// paths fold into the canonical mixingSum. All buffers are retained, so
+// steady-state dense sweeps allocate nothing. Like the sparse path, the
 // returned Vertices alias sweeper storage and stay valid only until the
 // sweeper's next sweep.
 func (s *Sweeper) denseSweep(p Dist, minSize int, opt MixOptions) (MixingSet, error) {
 	n := s.g.NumVertices()
-	if cap(s.x) < n {
-		s.x = make([]float64, n)
+	if cap(s.supBuf) < n {
+		s.supBuf = make([]int32, 0, n)
 	}
-	if cap(s.dIdx) < n {
-		s.dIdx = make([]int, n)
-		s.dSel = make([]int, 0, n)
-		s.dBest = make([]int, 0, n)
+	if len(s.supBits) != (n+63)/64 {
+		s.supBits = make([]uint64, (n+63)/64)
 	}
-	x := s.x[:n]
-	ladder := s.sizeLadder(minSize, opt.Growth)
-	best := MixingSet{}
-	for _, size := range ladder {
-		if err := opt.interrupted(); err != nil {
-			return MixingSet{}, err
-		}
-		best.SizesChecked++
-		sum := s.denseEvalSize(p, size, x)
-		if sum < opt.Threshold {
-			// Keep the accepted set in dBest; the next size's evaluation
-			// overwrites dSel (the previously accepted buffer) instead.
-			s.dSel, s.dBest = s.dBest, s.dSel
-			best.Vertices = s.dBest
-			best.Sum = sum
+	sup := s.supBuf[:0]
+	bits := s.supBits
+	for v, pv := range p {
+		if pv != 0 {
+			sup = append(sup, int32(v))
+			bits[uint(v)>>6] |= 1 << (uint(v) & 63)
 		}
 	}
-	return best, nil
-}
-
-// denseEvalSize is denseSweepSize over the sweeper's retained buffers: it
-// leaves the selected set, ascending, in s.dSel and returns the canonical
-// mixing sum. The selection replays SmallestK exactly — identity index
-// permutation, quickselectK, ascending sort, ascending-id accumulation — so
-// the sum is bit-identical to the allocating reference.
-func (s *Sweeper) denseEvalSize(p Dist, size int, x []float64) float64 {
-	g := s.g
-	muPrime := MuPrime(g, size)
-	XValues(g, p, size, x)
-	n := len(x)
-	k := size
-	if k > n {
-		k = n
-	}
-	idx := s.dIdx[:n]
-	for i := range idx {
-		idx[i] = i
-	}
-	quickselectK(x, idx, k)
-	sel := append(s.dSel[:0], idx[:k]...)
-	sort.Ints(sel)
-	s.dSel = sel
-	onSum := 0.0
-	var offDeg int64
-	offCount := 0
-	for _, u := range sel {
-		if p[u] != 0 {
-			onSum += x[u]
-		} else {
-			offDeg += int64(g.Degree(u))
-			offCount++
-		}
-	}
-	return mixingSum(onSum, offDeg, offCount, muPrime, size)
+	s.supBuf = sup
+	s.prepareDense(sup)
+	return s.sweepLadder(p, sup, minSize, opt)
 }
 
 // prepare derives the per-step support tables: the support's positions in
 // the degree order (ascending) and their prefix degree sums.
 func (s *Sweeper) prepare(support []int32) {
 	ns := len(support)
+	s.ensureSupportBuffers(ns)
+	s.wpos = s.wpos[:ns]
+	for i, v := range support {
+		s.wpos[i] = s.idx.pos[v]
+	}
+	slices.Sort(s.wpos)
+	s.prefixDegrees()
+}
+
+// prepareDense is prepare for the compacted dense path: with every support
+// vertex marked in supBits, the support's positions in the degree order fall
+// out of one sequential scan of idx.order — O(n) bitmap probes instead of
+// the sparse path's O(ns·log ns) position sort, which matters when the
+// support is a large fraction of the graph. The bitmap is cleared behind the
+// scan (whole words: only support vertices ever set bits in them).
+func (s *Sweeper) prepareDense(support []int32) {
+	s.ensureSupportBuffers(len(support))
+	s.wpos = s.wpos[:0]
+	bits := s.supBits
+	for i, v := range s.idx.order {
+		if bits[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
+			s.wpos = append(s.wpos, int32(i))
+		}
+	}
+	for _, v := range support {
+		bits[uint(v)>>6] = 0
+	}
+	s.prefixDegrees()
+}
+
+// ensureSupportBuffers sizes the per-sweep support scratch for ns entries
+// and clears the selection marks.
+func (s *Sweeper) ensureSupportBuffers(ns int) {
 	if cap(s.wpos) < ns {
 		s.wpos = make([]int32, 0, 2*ns)
 		s.wdeg = make([]int64, 0, 2*ns+1)
@@ -308,14 +308,16 @@ func (s *Sweeper) prepare(support []int32) {
 		s.ents = make([]sweepEntry, 0, 2*ns)
 		s.sel = make([]bool, 0, 2*ns)
 	}
-	s.wpos = s.wpos[:ns]
 	s.xsup = s.xsup[:ns]
 	s.sel = s.sel[:ns]
-	for i, v := range support {
-		s.wpos[i] = s.idx.pos[v]
+	for i := range s.sel {
 		s.sel[i] = false
 	}
-	slices.Sort(s.wpos)
+}
+
+// prefixDegrees rebuilds the exact prefix degree sums over the (ascending)
+// support positions in wpos.
+func (s *Sweeper) prefixDegrees() {
 	s.wdeg = append(s.wdeg[:0], 0)
 	for _, posn := range s.wpos {
 		s.wdeg = append(s.wdeg, s.wdeg[len(s.wdeg)-1]+int64(s.idx.degs[posn]))

@@ -108,6 +108,7 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 
 	// Stream: NDJSON, one parseable detection per line, covering the graph.
+	// Same fingerprint as the detect above, so this replays the cached run.
 	resp, err := http.Post(srv.URL+"/graphs/ppm/stream", "application/json",
 		strings.NewReader(`{"delta":0.12,"seed":5}`))
 	if err != nil {
@@ -136,7 +137,8 @@ func TestHTTPLifecycle(t *testing.T) {
 			lines, streamed, len(det1.Detections))
 	}
 
-	// Metrics exposition reflects the traffic.
+	// Metrics exposition reflects the traffic: one hit from the repeated
+	// detect, one from the stream replaying the cached run.
 	mresp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +146,7 @@ func TestHTTPLifecycle(t *testing.T) {
 	mbody, _ := io.ReadAll(mresp.Body)
 	mresp.Body.Close()
 	if !bytes.Contains(mbody, []byte("cdrw_requests_total")) ||
-		!bytes.Contains(mbody, []byte("cdrw_cache_hits_total 1")) {
+		!bytes.Contains(mbody, []byte("cdrw_cache_hits_total 2")) {
 		t.Fatalf("metrics exposition:\n%s", mbody)
 	}
 

@@ -11,7 +11,11 @@
 // turns that into a concurrent front end by keeping N long-lived handles and
 // lending each to exactly one request at a time: the PR 3/4 reuse contracts
 // then hold per handle under arbitrary concurrent load, with no per-request
-// engine construction anywhere.
+// engine construction anywhere. The immutable per-graph tables (degree
+// index, inverse-degree flood table) are shared across all N handles through
+// one warmed rw.SharedIndex per pool — per graph generation, when pools come
+// from the Registry — so warm-up cost and resident bytes per handle stay
+// independent of the pool size.
 package serve
 
 import (
@@ -22,6 +26,7 @@ import (
 	"cdrw/internal/core"
 	"cdrw/internal/graph"
 	"cdrw/internal/metrics"
+	"cdrw/internal/rw"
 )
 
 // DetectorPool is a concurrency-safe pool of warmed Detectors over one
@@ -40,22 +45,42 @@ type DetectorPool struct {
 
 // NewDetectorPool builds size detectors over g with the given options and
 // parks them in the pool. Options are resolved and validated once, exactly
-// like core.NewDetector; engines inside each handle warm up on its first
-// request and stay warm for the handle's life.
+// like core.NewDetector. All handles share one warmed immutable index bundle
+// (built here), so pool warm-up pays the O(n) index builds once rather than
+// per handle; engines inside each handle still warm up on its first request
+// and stay warm for the handle's life.
 func NewDetectorPool(g *graph.Graph, size int, opts ...core.Option) (*DetectorPool, error) {
+	return NewDetectorPoolWithIndex(g, size, nil, opts...)
+}
+
+// NewDetectorPoolWithIndex is NewDetectorPool with a caller-owned shared
+// index bundle: the Registry hands each graph generation's bundle to every
+// pool of that generation, so even pools with different option fingerprints
+// share one set of tables. ix nil builds a fresh bundle for this pool; the
+// bundle is warmed here either way and appended after opts, so it wins over
+// any caller-supplied WithSharedIndex (one pool always shares one bundle).
+func NewDetectorPoolWithIndex(g *graph.Graph, size int, ix *rw.SharedIndex, opts ...core.Option) (*DetectorPool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("serve: pool size %d must be positive", size)
 	}
+	if ix == nil {
+		ix = rw.NewSharedIndex(g)
+	}
+	ix.Warm()
+	all := make([]core.Option, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, core.WithSharedIndex(ix))
 	p := &DetectorPool{
 		g:       g,
 		handles: make(chan *core.Detector, size),
 		size:    size,
 	}
 	for i := 0; i < size; i++ {
-		d, err := core.NewDetector(g, opts...)
+		d, err := core.NewDetector(g, all...)
 		if err != nil {
 			return nil, err
 		}
+		d.Warm()
 		p.settings = d.Settings()
 		p.handles <- d
 	}

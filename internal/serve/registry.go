@@ -12,6 +12,7 @@ import (
 	"cdrw/internal/core"
 	"cdrw/internal/graph"
 	"cdrw/internal/metrics"
+	"cdrw/internal/rw"
 )
 
 // ErrUnknownGraph reports a request against a name the registry does not
@@ -58,10 +59,17 @@ type Registry struct {
 }
 
 // entry is one named graph with its base options and per-fingerprint pools.
+// ix is the generation's shared immutable index bundle: built once on first
+// pool creation and handed to every pool of this entry, so all handles of
+// all fingerprints over one graph generation share one set of tables.
+// Replacement installs a fresh entry (nil ix), so a new generation never
+// reads the old generation's tables; old pools keep the old bundle alive
+// only as long as their in-flight requests do.
 type entry struct {
 	g     *graph.Graph
 	opts  []core.Option
 	gen   int // bumped on replacement; stale cache keys become unreachable
+	ix    *rw.SharedIndex
 	pools map[string]*DetectorPool
 }
 
@@ -193,7 +201,10 @@ func (r *Registry) Pool(name string, opts ...core.Option) (*DetectorPool, int, c
 	if p, ok := e.pools[fp]; ok {
 		return p, e.gen, settings, nil
 	}
-	p, err := NewDetectorPool(e.g, r.poolSize, merged...)
+	if e.ix == nil {
+		e.ix = rw.NewSharedIndex(e.g)
+	}
+	p, err := NewDetectorPoolWithIndex(e.g, r.poolSize, e.ix, merged...)
 	if err != nil {
 		return nil, 0, core.Settings{}, err
 	}
@@ -341,13 +352,72 @@ func (r *Registry) DetectCommunity(ctx context.Context, name string, seed int, o
 	return out, stats, false, nil
 }
 
-// Stream serves a streaming detection of the named graph — always a live
-// run on a pooled handle (streams are not cached; their value is the
-// incremental delivery).
+// Stream serves a streaming detection of the named graph. Streams consult
+// the same full-run cache line as Detect: a hit replays the cached
+// detections without burning a pooled handle — bit-identical to a live run,
+// since every run is deterministic in its resolved settings. A miss runs
+// live on a pooled handle and, when the iteration completes un-broken,
+// populates the full-run line; for the engines whose pool loop is exactly
+// the single-seed path (reference and congest), each arriving detection
+// also seeds the per-seed lines DetectCommunity reads, so one stream warms
+// the cache for every later request shape.
 func (r *Registry) Stream(ctx context.Context, name string, opts ...core.Option) (func(yield func(core.Detection, error) bool), error) {
-	p, _, _, err := r.Pool(name, opts...)
+	p, gen, settings, err := r.Pool(name, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return p.Stream(ctx), nil
+	fp := settings.Fingerprint()
+	key := cacheKey(name, gen, "detect", fp)
+
+	r.mu.Lock()
+	res, hit := r.cache[key]
+	r.mu.Unlock()
+	if hit {
+		if r.m != nil {
+			r.m.IncCacheHit()
+		}
+		return func(yield func(core.Detection, error) bool) {
+			for _, det := range res.Detections {
+				if !yield(det, nil) {
+					return
+				}
+			}
+		}, nil
+	}
+	if r.m != nil {
+		r.m.IncCacheMiss()
+	}
+
+	// The parallel engine freezes communities at overlap resolution, not on
+	// the single-seed path, so only reference/congest detections may seed
+	// the per-seed cache lines.
+	seedable := settings.Engine != core.EngineParallel
+	return func(yield func(core.Detection, error) bool) {
+		var dets []core.Detection
+		for det, err := range p.Stream(ctx) {
+			if err != nil {
+				yield(det, err)
+				return
+			}
+			dets = append(dets, det)
+			if seedable {
+				ckey := cacheKey(name, gen, fmt.Sprintf("community:%d", det.Stats.Seed), fp)
+				r.mu.Lock()
+				if _, dup := r.comm[ckey]; !dup {
+					r.comm[ckey] = commCached{community: det.Raw, stats: det.Stats}
+					r.rememberLocked(ckey)
+				}
+				r.mu.Unlock()
+			}
+			if !yield(det, nil) {
+				return
+			}
+		}
+		r.mu.Lock()
+		if _, dup := r.cache[key]; !dup {
+			r.cache[key] = &core.Result{Detections: dets}
+			r.rememberLocked(key)
+		}
+		r.mu.Unlock()
+	}, nil
 }

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cdrw/internal/core"
+	"cdrw/internal/metrics"
+)
+
+// TestRegistryGenerationBumpConformance: detectors pooled by the registry
+// read each generation's shared index bundle, never a stale one — results
+// before and after a graph replacement are byte-identical to fresh solo
+// Detectors over the respective graphs, including while requests on the old
+// generation are still in flight (run under -race to prove no index is
+// shared across generations unsafely).
+func TestRegistryGenerationBumpConformance(t *testing.T) {
+	ppmA := testPPM(t, 384, 3)
+	ppmB := testPPM(t, 256, 2)
+	ctx := context.Background()
+	reg := NewRegistry(2, nil)
+	if err := reg.Register("g", ppmA.Graph, core.WithDelta(ppmA.Config.ExpectedConductance())); err != nil {
+		t.Fatal(err)
+	}
+
+	soloA, err := core.NewDetector(ppmA.Graph, core.WithDelta(ppmA.Config.ExpectedConductance()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := soloA.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pools pinned to generation 0 keep serving while the graph is replaced.
+	const inflight = 4
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		p, _, _, err := reg.Pool("g", core.WithSeed(uint64(i+10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, p *DetectorPool) {
+			defer wg.Done()
+			res, err := p.Detect(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fresh, err := core.Detect(ppmA.Graph,
+				core.WithDelta(ppmA.Config.ExpectedConductance()), core.WithSeed(uint64(i+10)))
+			if err == nil && !reflect.DeepEqual(res, fresh) {
+				t.Error("in-flight old-generation result differs from a solo run on the old graph")
+			}
+			errs[i] = err
+		}(i, p)
+	}
+	if err := reg.Register("g", ppmB.Graph, core.WithDelta(ppmB.Config.ExpectedConductance())); err != nil {
+		t.Fatal(err)
+	}
+	gotB, _, cached, err := reg.Detect(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight caller %d: %v", i, err)
+		}
+	}
+	if cached {
+		t.Fatal("post-replacement Detect hit a stale cache line")
+	}
+	soloB, err := core.NewDetector(ppmB.Graph, core.WithDelta(ppmB.Config.ExpectedConductance()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := soloB.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatal("new-generation pooled result differs from a solo Detector on the new graph")
+	}
+	if reflect.DeepEqual(gotB, wantA) {
+		t.Fatal("new-generation result identical to the old graph's — stale tables?")
+	}
+}
+
+// TestRegistryStreamCaching: Stream consults and populates the registry's
+// cache lines like Detect and DetectCommunity do — a repeated stream replays
+// the cached run without a live handle, a prior Detect serves a stream from
+// cache, and a completed stream warms the per-seed lines DetectCommunity
+// reads.
+func TestRegistryStreamCaching(t *testing.T) {
+	ppm := testPPM(t, 256, 2)
+	delta := core.WithDelta(ppm.Config.ExpectedConductance())
+	ctx := context.Background()
+	m := metrics.NewServeMetrics()
+	reg := NewRegistry(2, m)
+	if err := reg.Register("g", ppm.Graph, delta); err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func() []core.Detection {
+		t.Helper()
+		seq, err := reg.Stream(ctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dets []core.Detection
+		for det, err := range seq {
+			if err != nil {
+				t.Fatal(err)
+			}
+			dets = append(dets, det)
+		}
+		return dets
+	}
+
+	first := collect()
+	if len(first) == 0 {
+		t.Fatal("live stream produced no detections")
+	}
+	if s := m.Snapshot(); s.CacheMisses != 1 || s.CacheHits != 0 {
+		t.Fatalf("after live stream: %+v, want exactly 1 miss", s)
+	}
+
+	// The completed stream populated the full-run line: a replay and a
+	// Detect are both hits, and both match the live run exactly.
+	second := collect()
+	if !reflect.DeepEqual(second, first) {
+		t.Fatal("cached stream replay differs from the live run")
+	}
+	res, _, cached, err := reg.Detect(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !reflect.DeepEqual(res.Detections, first) {
+		t.Fatalf("Detect after stream: cached=%v, result matches=%v", cached, reflect.DeepEqual(res.Detections, first))
+	}
+	if s := m.Snapshot(); s.CacheHits != 2 {
+		t.Fatalf("after replay+detect: %+v, want 2 hits", s)
+	}
+
+	// The stream also warmed every per-seed line it emitted: DetectCommunity
+	// hits the cache and the cached answer matches a fresh solo computation.
+	for _, det := range first {
+		comm, stats, cached, err := reg.DetectCommunity(ctx, "g", det.Stats.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached {
+			t.Fatalf("DetectCommunity(%d) missed despite the stream", det.Stats.Seed)
+		}
+		fresh, freshStats, err := core.DetectCommunity(ppm.Graph, det.Stats.Seed, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(comm, fresh) || stats != freshStats {
+			t.Fatalf("stream-warmed community line for seed %d differs from a solo computation", det.Stats.Seed)
+		}
+	}
+
+	// A broken-off stream must not populate the full-run line.
+	if err := reg.Register("h", ppm.Graph, delta); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := reg.Stream(ctx, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range seq {
+		break
+	}
+	if _, _, cached, err := reg.Detect(ctx, "h"); err != nil || cached {
+		t.Fatalf("broken-off stream populated the full-run line (cached=%v err=%v)", cached, err)
+	}
+}
