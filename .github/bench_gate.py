@@ -23,11 +23,14 @@ custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
   * a cache-aware kernel pair at n=10⁶ falls below its absolute speedup
     bar against the reference kernel measured in the same run:
     BenchmarkSweepKernel1M/compact and BenchmarkFloodKernel1M/blocked
-    must beat their .../reference siblings by >= 1.3x, and
+    must beat their .../reference siblings by >= 1.3x,
     BenchmarkPoolWarmup/shared must cost <= 1/4 the bytes/handle of
-    .../solo (the shared per-generation index bundle's acceptance bar).
-    These pairs run non-short only; CI appends the full-size results to
-    head.bench before gating, and a missing pair fails the gate.
+    .../solo (the shared per-generation index bundle's acceptance bar),
+    and BenchmarkIncrementalReverify/reverify must cost <= 1/10 the
+    ns/op of .../cold at n=10⁵ (the incremental cache re-verification
+    acceptance bar of the edge-mutation path). These pairs run non-short
+    only; CI appends the full-size results to head.bench before gating,
+    and a missing pair fails the gate.
 
 Pass "-" as the base file to skip the regression comparison and run only
 the absolute gates. Benchmarks that exist only on one side are reported
@@ -71,6 +74,9 @@ PAIR_GATES = (
     ("PoolWarmup shared/solo",
      "BenchmarkPoolWarmup/solo", "BenchmarkPoolWarmup/shared",
      BYTES_UNIT, 4.0),
+    ("IncrementalReverify reverify/cold",
+     "BenchmarkIncrementalReverify/cold", "BenchmarkIncrementalReverify/reverify",
+     "ns/op", 10.0),
 )
 
 

@@ -64,10 +64,15 @@ import (
 
 // Graph substrate.
 type (
-	// Graph is an immutable simple undirected graph.
+	// Graph is an immutable simple undirected graph. Mutation is
+	// copy-on-write: Graph.ApplyDelta merges an edge delta into a new
+	// immutable snapshot, bit-identical to rebuilding from scratch.
 	Graph = graph.Graph
 	// GraphBuilder accumulates edges and produces a Graph.
 	GraphBuilder = graph.Builder
+	// Edge is one undirected edge of a delta batch (Graph.ApplyDelta,
+	// GraphRegistry.ApplyDelta).
+	Edge = graph.Edge
 	// BFSResult is the outcome of a breadth-first search.
 	BFSResult = graph.BFSResult
 )
@@ -399,8 +404,17 @@ type (
 	DetectorPool = serve.DetectorPool
 	// GraphRegistry maps named graphs to detector pools, fronted by a
 	// per-(graph, option-fingerprint) result cache with invalidation on
-	// graph replacement and singleflight collapsing.
+	// graph replacement and singleflight collapsing. Registered graphs can
+	// be mutated in place by GraphRegistry.ApplyDelta: the next generation
+	// is double-buffered off the serving copy and swapped in atomically,
+	// with incremental cache invalidation (disjoint single-seed lines
+	// survive; intersecting ones re-verify by replaying only their frozen
+	// sweep).
 	GraphRegistry = serve.Registry
+	// DeltaStats summarises one GraphRegistry.ApplyDelta swap: the new
+	// generation, edges applied, cache lines kept / re-verified / evicted,
+	// and the swap latency.
+	DeltaStats = serve.DeltaStats
 	// ServeMetrics aggregates the serving counters (requests, errors, cache
 	// hits/misses, collapsed requests, pool waits, latency quantiles).
 	ServeMetrics = metrics.ServeMetrics

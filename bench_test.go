@@ -963,3 +963,130 @@ func BenchmarkPoolWarmup(b *testing.B) {
 		})
 	})
 }
+
+// --- Streaming mutation benchmarks ---
+//
+// BenchmarkApplyDelta1M measures a small-delta generation swap at n = 10⁶:
+// graph is the bare copy-on-write CSR merge, registry is the full serving
+// swap (merge + shared-index delta rebuild + pool recreation + atomic
+// install). ns/op here IS the swap latency — re-verification happens after
+// the swap and no cache lines exist in this workload. Skipped with -short;
+// CI runs it full-size in the 1M kernel step.
+func BenchmarkApplyDelta1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-vertex benchmark skipped in short mode")
+	}
+	g := benchWalkGraph(b, 1_000_000)
+
+	// A batch of 16 non-edges to flip on and off: even iterations add the
+	// batch, odd iterations remove it, so every iteration applies the same
+	// amount of work and the graph returns to its seed state.
+	var batch []cdrw.Edge
+	for u := 0; len(batch) < 16; u++ {
+		for v := u + 2; v < u+40 && len(batch) < 16; v++ {
+			if !g.HasEdge(u, v) {
+				batch = append(batch, cdrw.Edge{U: u, V: v})
+			}
+		}
+	}
+	if len(batch) < 16 {
+		b.Fatal("could not assemble a 16-edge delta batch")
+	}
+
+	b.Run("graph", func(b *testing.B) {
+		cur := g
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if i%2 == 0 {
+				cur, err = cur.ApplyDelta(batch, nil)
+			} else {
+				cur, err = cur.ApplyDelta(nil, batch)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("registry", func(b *testing.B) {
+		reg := cdrw.NewGraphRegistry(1, nil)
+		if err := reg.Register("g", g, cdrw.WithSeed(7)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := reg.Pool("g"); err != nil {
+			b.Fatal(err) // materialise the pool + shared index the swap rebuilds
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if i%2 == 0 {
+				_, err = reg.ApplyDelta(ctx, "g", batch, nil)
+			} else {
+				_, err = reg.ApplyDelta(ctx, "g", nil, batch)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalReverify: promoting a cached community across a delta
+// versus recomputing it cold, at n = 10⁵. reverify replays the deterministic
+// walk to its frozen length with no per-step sweeps and runs one ladder
+// sweep; cold builds a Detector and runs the full detection (per-step
+// sweeps throughout). CI's bench gate enforces the acceptance bar
+// absolutely: cold must cost at least 10x reverify (see
+// .github/bench_gate.py). Skipped with -short; CI runs it full-size in the
+// 1M kernel step.
+func BenchmarkIncrementalReverify(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10⁵-vertex benchmark skipped in short mode")
+	}
+	g := benchWalkGraph(b, 100_000)
+	ctx := context.Background()
+	const seed = 3
+	d, err := cdrw.NewDetector(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	community, stats, err := d.DetectCommunity(ctx, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.FrozenAt < 1 {
+		b.Fatalf("detection froze no mixing set (FrozenAt=%d)", stats.FrozenAt)
+	}
+	community = append([]int(nil), community...)
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dc, err := cdrw.NewDetector(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := dc.DetectCommunity(ctx, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reverify", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := d.ReverifyCommunity(ctx, seed, community, stats.FrozenAt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("unchanged community failed to re-verify")
+			}
+		}
+	})
+}

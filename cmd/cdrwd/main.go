@@ -12,6 +12,7 @@
 //	GET    /graphs
 //	PUT    /graphs/{name}             (edge-list body)
 //	DELETE /graphs/{name}
+//	PATCH  /graphs/{name}/edges       NDJSON edge delta, atomic generation swap
 //	POST   /graphs/{name}/generate    {"model":"ppm","n":2048,"r":2,"p":0.02,"q":0.0006}
 //	POST   /graphs/{name}/detect      {"engine":"reference","delta":0.1,"seed":1}
 //	POST   /graphs/{name}/community   {"seed":17,"options":{...}}
@@ -22,6 +23,10 @@
 //	cdrwd -addr :8080 &
 //	curl -X POST localhost:8080/graphs/demo/generate -d '{"n":2048,"r":4,"p":0.04,"q":0.001}'
 //	curl -X POST localhost:8080/graphs/demo/detect   -d '{"delta":0.1}'
+//	echo '{"op":"add","u":3,"v":17}' |
+//	  curl -X PATCH --data-binary @- localhost:8080/graphs/demo/edges
+//
+// The full endpoint and metrics reference is docs/API.md.
 package main
 
 import (

@@ -171,6 +171,7 @@ func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error)
 			}
 			if curSet != nil {
 				w.prevSet = curSet
+				w.stats.FrozenAt = l
 			}
 		}
 		nw.endPhase()

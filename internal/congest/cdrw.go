@@ -107,8 +107,13 @@ type CommunityStats struct {
 	// SizesChecked counts ladder entries evaluated, matching the reference
 	// engine's accounting (both engines sweep the whole ladder per step).
 	SizesChecked int
-	TreeDepth    int
-	Metrics      Metrics // rounds/messages consumed by this community
+	// FrozenAt is the walk length of the final recorded mixing set (0 for
+	// the singleton fallback), mirroring core.CommunityStats.FrozenAt — the
+	// cross-engine equivalence suites compare stats structs wholesale, so
+	// the field must advance identically here and in the reference tracker.
+	FrozenAt  int
+	TreeDepth int
+	Metrics   Metrics // rounds/messages consumed by this community
 }
 
 // DetectCommunity runs the distributed Algorithm 1 for one seed: build the
@@ -192,6 +197,7 @@ func detectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 		}
 		if curSet != nil {
 			prevSet = curSet
+			stats.FrozenAt = l
 		}
 	}
 	if prevSet != nil {

@@ -160,6 +160,13 @@ type CommunityStats struct {
 	Stopped      bool // true if the (1+δ) rule fired, false if the length cap hit
 	FinalSetSize int  // |C_s|
 	SizesChecked int  // total ladder entries evaluated (complexity accounting)
+	// FrozenAt is the walk length at which the output mixing set was last
+	// recorded — the l of the final S_l that became the community (before
+	// seed re-insertion). 0 when no mixing set was ever found (singleton
+	// fallback). The deterministic walk makes this replayable:
+	// Detector.ReverifyCommunity re-walks to FrozenAt and re-runs just that
+	// one sweep to check a cached community against a mutated graph.
+	FrozenAt int
 }
 
 // Detection records one pool iteration of Algorithm 1: the seed drawn from
@@ -305,6 +312,7 @@ func (t *communityTracker) observe(l int, cur rw.MixingSet) bool {
 	if cur.Found() {
 		t.prev = append(t.prev[:0], cur.Vertices...)
 		t.prevFound = true
+		t.stats.FrozenAt = l
 	}
 	return false
 }

@@ -228,6 +228,80 @@ func (d *Detector) DetectCommunity(ctx context.Context, s int) ([]int, Community
 	return detectCommunity(ctx, d.g, d.walkEngine(), &d.trk, s, cfg)
 }
 
+// ReverifyCommunity cheaply re-checks a previously detected community
+// against this detector's (possibly mutated) graph: it replays the
+// deterministic walk from seed s for frozenAt steps without any per-step
+// sweeps, runs the candidate-size ladder once over the final distribution,
+// and reports whether the largest mixing set (with s re-inserted, exactly as
+// detection would emit it) still equals community. frozenAt is the
+// CommunityStats.FrozenAt of the original detection.
+//
+// The per-step sweeps dominate detection cost, so skipping all but the last
+// makes re-verification an order of magnitude cheaper than re-detection —
+// this is what lets a serving cache keep single-seed lines across small
+// graph deltas instead of recomputing them cold.
+//
+// A true result certifies that the mixing set at the freeze step is
+// unchanged; it does not replay the stop rule's full trajectory, so callers
+// treat it as a cache-promotion check, not a fresh detection. False means
+// the cached community is stale (or was a singleton fallback, frozenAt = 0,
+// which carries no mixing set to re-check) and must be recomputed.
+//
+// The replay always runs the in-memory reference walk: all engines produce
+// bit-identical mixing sets step for step (the cross-engine equivalence
+// invariant), so the check is valid for communities detected on any engine.
+// community must be sorted ascending, as detection returns it.
+func (d *Detector) ReverifyCommunity(ctx context.Context, s int, community []int, frozenAt int) (bool, error) {
+	n := d.g.NumVertices()
+	if s < 0 || s >= n {
+		return false, fmt.Errorf("core: seed %d out of range [0,%d): %w", s, n, graph.ErrVertexOutOfRange)
+	}
+	if frozenAt < 1 || frozenAt > d.cfg.maxLen || len(community) == 0 {
+		return false, nil
+	}
+	cfg := d.beginRun(ctx)
+	defer d.endRun()
+	eng := d.walkEngine()
+	if err := eng.Reset(s); err != nil {
+		return false, err
+	}
+	for l := 0; l < frozenAt; l++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		eng.Step()
+	}
+	cur, err := cfg.sweep(d.g, eng)
+	if err != nil {
+		return false, err
+	}
+	if !cur.Found() {
+		return false, nil
+	}
+	// Compare against community with the seed inserted the way settle()
+	// would emit it, without materialising the merged set: walk cur.Vertices
+	// and community in lockstep, letting the seed slot in at its sorted
+	// position.
+	i, j := 0, 0
+	seedPending := true
+	for j < len(community) {
+		switch {
+		case seedPending && community[j] == s:
+			seedPending = false
+			if i < len(cur.Vertices) && cur.Vertices[i] == s {
+				i++
+			}
+			j++
+		case i < len(cur.Vertices) && cur.Vertices[i] == community[j]:
+			i++
+			j++
+		default:
+			return false, nil
+		}
+	}
+	return i == len(cur.Vertices) && !seedPending, nil
+}
+
 // Detect partitions the whole graph on this detector's engine: the
 // Algorithm 1 pool loop for the reference and CONGEST engines, the
 // multi-seed lockstep run for the parallel engine. Detections stream to the
@@ -308,6 +382,7 @@ func coreStats(cs congest.CommunityStats) CommunityStats {
 		Stopped:      cs.Stopped,
 		FinalSetSize: cs.FinalSetSize,
 		SizesChecked: cs.SizesChecked,
+		FrozenAt:     cs.FrozenAt,
 	}
 }
 

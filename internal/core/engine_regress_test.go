@@ -49,6 +49,7 @@ func legacyDetectCommunity(t *testing.T, g *gen.PPM, s int, cfg config) ([]int, 
 		}
 		if cur.Found() {
 			prev = cur
+			stats.FrozenAt = l
 		}
 	}
 	if prev.Found() {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cdrw/internal/graph"
+)
+
+// TestReverifyCommunityRoundTrip: a community just detected on a graph must
+// re-verify against the same graph, on every engine's stats (the replay is
+// engine-agnostic by the equivalence invariant).
+func TestReverifyCommunityRoundTrip(t *testing.T) {
+	ppm := regressPPM(t, 99)
+	delta := ppm.Config.ExpectedConductance()
+	ctx := context.Background()
+
+	for _, engine := range []Engine{EngineReference, EngineCongest} {
+		d, err := NewDetector(ppm.Graph, WithDelta(delta), WithEngine(engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := 7
+		community, stats, err := d.DetectCommunity(ctx, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.FrozenAt < 1 {
+			t.Fatalf("%v: FrozenAt = %d, want >= 1", engine, stats.FrozenAt)
+		}
+		community = append([]int(nil), community...)
+
+		ok, err := d.ReverifyCommunity(ctx, seed, community, stats.FrozenAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%v: unchanged community failed to re-verify", engine)
+		}
+
+		// A perturbed community must not re-verify.
+		wrong := append([]int(nil), community...)
+		wrong = wrong[:len(wrong)-1]
+		if ok, err := d.ReverifyCommunity(ctx, seed, wrong, stats.FrozenAt); err != nil || ok {
+			t.Fatalf("%v: truncated community re-verified (ok=%v err=%v)", engine, ok, err)
+		}
+		// A singleton fallback (FrozenAt 0) carries no mixing set to check.
+		if ok, err := d.ReverifyCommunity(ctx, seed, community, 0); err != nil || ok {
+			t.Fatalf("%v: frozenAt=0 re-verified (ok=%v err=%v)", engine, ok, err)
+		}
+	}
+}
+
+// TestReverifyCommunityAfterDelta: mutating edges inside the community
+// changes the frozen-step mixing set, so the stale community must fail
+// re-verification on a detector over the new graph; a community re-detected
+// there re-verifies.
+func TestReverifyCommunityAfterDelta(t *testing.T) {
+	ppm := regressPPM(t, 4)
+	delta := ppm.Config.ExpectedConductance()
+	ctx := context.Background()
+
+	d, err := NewDetector(ppm.Graph, WithDelta(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 3
+	community, stats, err := d.DetectCommunity(ctx, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	community = append([]int(nil), community...)
+
+	// Rewire the seed wholesale: drop every edge it has, reattach it to the
+	// same number of vertices it was not adjacent to (scanning from the top
+	// of the id range, i.e. into other planted blocks). The walk from the
+	// seed then spreads through a different neighbourhood entirely, so the
+	// frozen-step mixing set cannot survive.
+	var dels, adds []graph.Edge
+	for _, w := range ppm.Graph.Neighbors(seed) {
+		dels = append(dels, graph.Edge{U: seed, V: int(w)})
+	}
+	for v := ppm.Graph.NumVertices() - 1; v >= 0 && len(adds) < len(dels); v-- {
+		if v != seed && !ppm.Graph.HasEdge(seed, v) {
+			adds = append(adds, graph.Edge{U: seed, V: v})
+		}
+	}
+	mutated, err := ppm.Graph.ApplyDelta(adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDetector(mutated, WithDelta(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d2.ReverifyCommunity(ctx, seed, community, stats.FrozenAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale community re-verified after rewiring the seed's edges")
+	}
+
+	fresh, freshStats, err := d2.DetectCommunity(ctx, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh = append([]int(nil), fresh...)
+	ok, err = d2.ReverifyCommunity(ctx, seed, fresh, freshStats.FrozenAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("freshly re-detected community failed to re-verify on its own graph")
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge {U, V}. Orientation is irrelevant: {U, V} and
+// {V, U} denote the same edge.
+type Edge struct {
+	U, V int
+}
+
+// half is one directed arc of an undirected edge; delta merging works on the
+// two arcs of every edge independently so each vertex's neighbour run can be
+// rebuilt with a local sorted merge.
+type half struct{ src, dst int32 }
+
+func sortHalves(hs []half) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].src != hs[j].src {
+			return hs[i].src < hs[j].src
+		}
+		return hs[i].dst < hs[j].dst
+	})
+}
+
+// normalizeDelta validates one side of a delta (adds or dels) against vertex
+// count n and expands it into sorted directed arcs. Self-loops, out-of-range
+// endpoints and duplicate edges within the list are errors.
+func normalizeDelta(edges []Edge, n int, what string) ([]half, error) {
+	hs := make([]half, 0, 2*len(edges))
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: %s {%d,%d} with n=%d", ErrVertexOutOfRange, what, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: %s self-loop {%d,%d}", what, u, v)
+		}
+		hs = append(hs, half{int32(u), int32(v)}, half{int32(v), int32(u)})
+	}
+	sortHalves(hs)
+	for i := 1; i < len(hs); i++ {
+		if hs[i] == hs[i-1] {
+			return nil, fmt.Errorf("graph: duplicate %s {%d,%d}", what, hs[i].src, hs[i].dst)
+		}
+	}
+	return hs, nil
+}
+
+// ApplyDelta returns a new immutable Graph equal to g with the edges in adds
+// inserted and the edges in dels removed. The receiver is never modified, so
+// readers holding g keep a consistent snapshot — this is the merge step of
+// the registry's double-buffered generation swap.
+//
+// The delta is validated strictly: every edge in adds must be absent from g,
+// every edge in dels must be present, no edge may appear twice in either
+// list or in both lists at once, and self-loops are rejected. Any violation
+// returns an error and leaves no partial result.
+//
+// The returned graph is canonical (sorted neighbour runs, dense CSR), so it
+// is bit-identical to building the post-delta edge set from scratch with a
+// Builder. With both lists empty, ApplyDelta returns g itself.
+func (g *Graph) ApplyDelta(adds, dels []Edge) (*Graph, error) {
+	if len(adds) == 0 && len(dels) == 0 {
+		return g, nil
+	}
+	n := g.NumVertices()
+	addH, err := normalizeDelta(adds, n, "added edge")
+	if err != nil {
+		return nil, err
+	}
+	delH, err := normalizeDelta(dels, n, "removed edge")
+	if err != nil {
+		return nil, err
+	}
+	// Membership checks up front so the merge below cannot fail: the output
+	// buffer is sized exactly for the post-delta graph, and a late validation
+	// failure would otherwise over- or under-fill it.
+	for _, h := range addH {
+		if h.src < h.dst && g.HasEdge(int(h.src), int(h.dst)) {
+			return nil, fmt.Errorf("graph: added edge {%d,%d} already present", h.src, h.dst)
+		}
+	}
+	for _, h := range delH {
+		if h.src < h.dst && !g.HasEdge(int(h.src), int(h.dst)) {
+			return nil, fmt.Errorf("graph: removed edge {%d,%d} not present", h.src, h.dst)
+		}
+	}
+	// adds and dels are disjoint by construction (an add must be absent, a
+	// del present), so a shared edge always trips one of the checks above.
+
+	m2 := g.m + len(adds) - len(dels)
+	offsets := make([]int32, n+1)
+	neigh := make([]int32, 2*m2)
+
+	ai, di := 0, 0 // cursors into addH and delH, both sorted by (src, dst)
+	out := int32(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = out
+		aLo := ai
+		for ai < len(addH) && addH[ai].src == int32(v) {
+			ai++
+		}
+		dLo := di
+		for di < len(delH) && delH[di].src == int32(v) {
+			di++
+		}
+		addsV, delsV := addH[aLo:ai], delH[dLo:di]
+		ns := g.Neighbors(v)
+
+		// Three-way sorted merge: existing neighbours minus delsV plus addsV.
+		i, a, d := 0, 0, 0
+		for i < len(ns) || a < len(addsV) {
+			if a < len(addsV) && (i >= len(ns) || addsV[a].dst < ns[i]) {
+				neigh[out] = addsV[a].dst
+				out++
+				a++
+				continue
+			}
+			w := ns[i]
+			i++
+			if d < len(delsV) && delsV[d].dst == w {
+				d++
+				continue
+			}
+			neigh[out] = w
+			out++
+		}
+	}
+	offsets[n] = out
+	return &Graph{offsets: offsets, neigh: neigh, m: m2}, nil
+}

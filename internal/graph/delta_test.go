@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"cdrw/internal/rng"
+)
+
+// edgeSet tracks the current edge set of a mutating graph as a map keyed by
+// the normalized (u<v) pair, mirrored into a Builder for the from-scratch
+// reference construction.
+type edgeSet map[[2]int]struct{}
+
+func (s edgeSet) key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (s edgeSet) build(n int, t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for k := range s {
+		b.AddEdge(k[0], k[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+	return g
+}
+
+func graphsBitIdentical(a, b *Graph) bool {
+	if a.m != b.m || len(a.offsets) != len(b.offsets) || len(a.neigh) != len(b.neigh) {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.neigh {
+		if a.neigh[i] != b.neigh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyDeltaMatchesFromScratch drives a graph through random add/del
+// batches and checks after every batch that the delta-merged CSR is
+// bit-identical (offsets, neighbour array, edge count) to building the same
+// edge set from scratch.
+func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	r := rng.New(0xd17a)
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.Intn(40)
+		set := edgeSet{}
+		// Random starting graph with edge probability ~3/n.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 3/float64(n) {
+					set[set.key(u, v)] = struct{}{}
+				}
+			}
+		}
+		g := set.build(n, t)
+
+		for batch := 0; batch < 8; batch++ {
+			var adds, dels []Edge
+			seen := map[[2]int]bool{}
+			for k := 0; k < 1+r.Intn(6); k++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if u == v {
+					continue
+				}
+				key := set.key(u, v)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if _, ok := set[key]; ok {
+					dels = append(dels, Edge{U: u, V: v})
+					delete(set, key)
+				} else {
+					adds = append(adds, Edge{U: u, V: v})
+					set[key] = struct{}{}
+				}
+			}
+			next, err := g.ApplyDelta(adds, dels)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: ApplyDelta(%v, %v): %v", trial, batch, adds, dels, err)
+			}
+			if err := next.Validate(); err != nil {
+				t.Fatalf("trial %d batch %d: invalid merged graph: %v", trial, batch, err)
+			}
+			want := set.build(n, t)
+			if !graphsBitIdentical(next, want) {
+				t.Fatalf("trial %d batch %d: delta-merged CSR differs from from-scratch build (adds=%v dels=%v)",
+					trial, batch, adds, dels)
+			}
+			g = next
+		}
+	}
+}
+
+func TestApplyDeltaEmptyReturnsReceiver(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	got, err := g.ApplyDelta(nil, nil)
+	if err != nil {
+		t.Fatalf("empty delta: %v", err)
+	}
+	if got != g {
+		t.Fatal("empty delta should return the receiver unchanged")
+	}
+}
+
+func TestApplyDeltaImmutableReceiver(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	snapshot := edgeSet{}
+	g.Edges(func(u, v int) bool { snapshot[snapshot.key(u, v)] = struct{}{}; return true })
+	want := snapshot.build(5, t)
+
+	if _, err := g.ApplyDelta([]Edge{{U: 0, V: 4}}, []Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !graphsBitIdentical(g, want) {
+		t.Fatal("ApplyDelta mutated its receiver")
+	}
+}
+
+func TestApplyDeltaRejectsBadDeltas(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+
+	cases := []struct {
+		name string
+		adds []Edge
+		dels []Edge
+	}{
+		{"add existing", []Edge{{U: 0, V: 1}}, nil},
+		{"add existing reversed", []Edge{{U: 1, V: 0}}, nil},
+		{"remove missing", nil, []Edge{{U: 0, V: 3}}},
+		{"self-loop add", []Edge{{U: 2, V: 2}}, nil},
+		{"out of range", []Edge{{U: 0, V: 4}}, nil},
+		{"negative vertex", nil, []Edge{{U: -1, V: 1}}},
+		{"duplicate add", []Edge{{U: 0, V: 3}, {U: 3, V: 0}}, nil},
+		{"duplicate del", nil, []Edge{{U: 0, V: 1}, {U: 1, V: 0}}},
+		{"add and del same edge", []Edge{{U: 0, V: 3}}, []Edge{{U: 0, V: 3}}},
+	}
+	for _, tc := range cases {
+		if _, err := g.ApplyDelta(tc.adds, tc.dels); err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+		}
+	}
+	if _, err := g.ApplyDelta([]Edge{{U: 0, V: 9}}, nil); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("out-of-range add: got %v, want ErrVertexOutOfRange", err)
+	}
+}

@@ -6,6 +6,12 @@
 // adjacency layout (one shared neighbour slice plus per-vertex offsets),
 // which keeps memory proportional to the number of edges and makes the hot
 // random-walk loop cache friendly.
+//
+// Graphs are immutable; mutation is copy-on-write. ApplyDelta merges an
+// edge delta (adds + dels) into a new Graph in O(n + m), bit-identical to
+// rebuilding from scratch, leaving the receiver — and every reader holding
+// it — untouched. That is the substrate the serving layer's atomic
+// generation swaps are built on.
 package graph
 
 import (

@@ -35,6 +35,15 @@ type ServeMetrics struct {
 	latCount   atomic.Int64
 	latSumNS   atomic.Int64
 	latBuckets [latencyBuckets]atomic.Int64
+
+	// Graph-mutation counters (Registry.ApplyDelta): deltas applied, the
+	// fate of the affected cache lines, and the generation-swap latency.
+	deltasApplied   atomic.Int64
+	deltaKept       atomic.Int64
+	deltaReverified atomic.Int64
+	deltaEvicted    atomic.Int64
+	swapCount       atomic.Int64
+	swapSumNS       atomic.Int64
 }
 
 // NewServeMetrics returns a fresh, zeroed counter set.
@@ -58,6 +67,29 @@ func (m *ServeMetrics) IncCollapsed() { m.collapsed.Add(1) }
 // IncPoolWait counts one pool checkout that found no idle detector and had
 // to wait.
 func (m *ServeMetrics) IncPoolWait() { m.poolWaits.Add(1) }
+
+// IncDeltaApplied counts one edge delta applied to a registered graph.
+func (m *ServeMetrics) IncDeltaApplied() { m.deltasApplied.Add(1) }
+
+// AddDeltaLines records the cache-line outcomes of one applied delta: lines
+// kept untouched (disjoint community), lines promoted after re-verification,
+// and lines evicted.
+func (m *ServeMetrics) AddDeltaLines(kept, reverified, evicted int64) {
+	m.deltaKept.Add(kept)
+	m.deltaReverified.Add(reverified)
+	m.deltaEvicted.Add(evicted)
+}
+
+// ObserveSwapLatency records how long one delta took from the mutation call
+// to the atomic generation swap becoming visible to readers.
+func (m *ServeMetrics) ObserveSwapLatency(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	m.swapCount.Add(1)
+	m.swapSumNS.Add(ns)
+}
 
 // ObserveLatency records one request's wall time in the histogram.
 func (m *ServeMetrics) ObserveLatency(d time.Duration) {
@@ -84,6 +116,13 @@ type ServeSnapshot struct {
 	LatencyMean  time.Duration
 	LatencyP50   time.Duration
 	LatencyP99   time.Duration
+
+	DeltasApplied        int64
+	DeltaLinesKept       int64
+	DeltaLinesReverified int64
+	DeltaLinesEvicted    int64
+	SwapCount            int64
+	SwapMean             time.Duration
 }
 
 // Snapshot reads every counter and derives the latency quantiles.
@@ -96,9 +135,18 @@ func (m *ServeMetrics) Snapshot() ServeSnapshot {
 		Collapsed:    m.collapsed.Load(),
 		PoolWaits:    m.poolWaits.Load(),
 		LatencyCount: m.latCount.Load(),
+
+		DeltasApplied:        m.deltasApplied.Load(),
+		DeltaLinesKept:       m.deltaKept.Load(),
+		DeltaLinesReverified: m.deltaReverified.Load(),
+		DeltaLinesEvicted:    m.deltaEvicted.Load(),
+		SwapCount:            m.swapCount.Load(),
 	}
 	if s.LatencyCount > 0 {
 		s.LatencyMean = time.Duration(m.latSumNS.Load() / s.LatencyCount)
+	}
+	if s.SwapCount > 0 {
+		s.SwapMean = time.Duration(m.swapSumNS.Load() / s.SwapCount)
 	}
 	s.LatencyP50 = m.quantile(0.50)
 	s.LatencyP99 = m.quantile(0.99)
@@ -166,11 +214,31 @@ func (m *ServeMetrics) WritePrometheus(w io.Writer) error {
 			"cdrw_latency_seconds{quantile=\"0.5\"} %g\n"+
 			"cdrw_latency_seconds{quantile=\"0.99\"} %g\n"+
 			"cdrw_latency_seconds_sum %g\n"+
-			"cdrw_latency_seconds_count %d\n",
+			"cdrw_latency_seconds_count %d\n"+
+			"# HELP cdrw_deltas_applied_total Edge deltas applied to registered graphs.\n"+
+			"# TYPE cdrw_deltas_applied_total counter\n"+
+			"cdrw_deltas_applied_total %d\n"+
+			"# HELP cdrw_delta_lines_kept_total Cache lines kept across deltas (community disjoint from the delta).\n"+
+			"# TYPE cdrw_delta_lines_kept_total counter\n"+
+			"cdrw_delta_lines_kept_total %d\n"+
+			"# HELP cdrw_delta_lines_reverified_total Cache lines promoted across deltas after sweep re-verification.\n"+
+			"# TYPE cdrw_delta_lines_reverified_total counter\n"+
+			"cdrw_delta_lines_reverified_total %d\n"+
+			"# HELP cdrw_delta_lines_evicted_total Cache lines evicted by deltas.\n"+
+			"# TYPE cdrw_delta_lines_evicted_total counter\n"+
+			"cdrw_delta_lines_evicted_total %d\n"+
+			"# HELP cdrw_delta_swap_seconds Generation-swap latency of applied deltas.\n"+
+			"# TYPE cdrw_delta_swap_seconds summary\n"+
+			"cdrw_delta_swap_seconds_sum %g\n"+
+			"cdrw_delta_swap_seconds_count %d\n",
 		s.Requests, s.Errors, s.CacheHits, s.CacheMisses, s.Collapsed,
 		s.PoolWaits,
 		s.LatencyP50.Seconds(), s.LatencyP99.Seconds(),
 		(time.Duration(m.latSumNS.Load()) * time.Nanosecond).Seconds(),
-		s.LatencyCount)
+		s.LatencyCount,
+		s.DeltasApplied, s.DeltaLinesKept, s.DeltaLinesReverified,
+		s.DeltaLinesEvicted,
+		(time.Duration(m.swapSumNS.Load()) * time.Nanosecond).Seconds(),
+		s.SwapCount)
 	return err
 }

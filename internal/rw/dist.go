@@ -4,6 +4,11 @@
 // mixing times, spectral estimates, and — the paper's key primitive — the
 // largest local mixing set of a distribution (Definition 2 plus the
 // localised x_u statistic of Algorithm 1).
+//
+// SharedIndex bundles the immutable per-graph tables (degree-sorted sweep
+// index, inverse-degree flood table) that detector pools share per graph
+// generation; NewSharedIndexDelta rebuilds a bundle across an edge delta
+// by patching only the touched vertices, bit-identical to a fresh build.
 package rw
 
 import (

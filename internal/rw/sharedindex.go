@@ -1,7 +1,9 @@
 package rw
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cdrw/internal/graph"
 )
@@ -24,11 +26,13 @@ import (
 type SharedIndex struct {
 	g *graph.Graph
 
-	degOnce sync.Once
-	deg     *DegreeIndex
+	degOnce  sync.Once
+	degBuilt atomic.Bool
+	deg      *DegreeIndex
 
-	invOnce sync.Once
-	inv     []float64
+	invOnce  sync.Once
+	invBuilt atomic.Bool
+	inv      []float64
 }
 
 // NewSharedIndex returns an empty (cold) index bundle over g. No table is
@@ -42,7 +46,10 @@ func (ix *SharedIndex) Graph() *graph.Graph { return ix.g }
 
 // Degree returns the shared DegreeIndex, building it on first call.
 func (ix *SharedIndex) Degree() *DegreeIndex {
-	ix.degOnce.Do(func() { ix.deg = NewDegreeIndex(ix.g) })
+	ix.degOnce.Do(func() {
+		ix.deg = NewDegreeIndex(ix.g)
+		ix.degBuilt.Store(true)
+	})
 	return ix.deg
 }
 
@@ -62,6 +69,7 @@ func (ix *SharedIndex) DegInv() []float64 {
 			}
 		}
 		ix.inv = inv
+		ix.invBuilt.Store(true)
 	})
 	return ix.inv
 }
@@ -72,4 +80,122 @@ func (ix *SharedIndex) Warm() *SharedIndex {
 	ix.Degree()
 	ix.DegInv()
 	return ix
+}
+
+// NewSharedIndexDelta returns a warm SharedIndex over next, derived from
+// prev (the index of the pre-delta graph) by recomputing only the entries of
+// the touched vertices — the endpoints of the applied edge delta, the only
+// vertices whose degree can have changed. Both tables come out bit-identical
+// to NewSharedIndex(next).Warm(): the inverse-degree table is a copy with
+// 1/d recomputed at touched entries, and the degree index is rebuilt by
+// compacting the touched vertices out of the frozen (degree, id) order,
+// re-sorting just those |T| vertices under their new degrees, and merging —
+// O(n + |T| log |T|) instead of the counting sort's O(n + ∆) re-bucketing,
+// and crucially without re-reading the whole adjacency structure.
+//
+// Tables prev never built are built fresh from next (nothing to patch).
+// If prev indexes a graph of a different vertex count, the delta path is
+// invalid and a plain warm build of next is returned.
+func NewSharedIndexDelta(next *graph.Graph, prev *SharedIndex, touched []int) *SharedIndex {
+	ix := &SharedIndex{g: next}
+	if prev == nil || prev.g == nil || prev.g.NumVertices() != next.NumVertices() {
+		return ix.Warm()
+	}
+	n := next.NumVertices()
+	isTouched := make([]bool, n)
+	unique := make([]int32, 0, len(touched))
+	for _, v := range touched {
+		if v >= 0 && v < n && !isTouched[v] {
+			isTouched[v] = true
+			unique = append(unique, int32(v))
+		}
+	}
+
+	if prev.invBuilt.Load() {
+		inv := make([]float64, n)
+		copy(inv, prev.inv)
+		for _, v := range unique {
+			inv[v] = 0
+			if d := next.Degree(int(v)); d > 0 {
+				inv[v] = 1 / float64(d)
+			}
+		}
+		ix.invOnce.Do(func() {
+			ix.inv = inv
+			ix.invBuilt.Store(true)
+		})
+	} else {
+		ix.DegInv()
+	}
+
+	if prev.degBuilt.Load() {
+		deg := prev.deg.rebuildDelta(next, isTouched, unique)
+		ix.degOnce.Do(func() {
+			ix.deg = deg
+			ix.degBuilt.Store(true)
+		})
+	} else {
+		ix.Degree()
+	}
+	return ix
+}
+
+// rebuildDelta produces the DegreeIndex of next given that only the vertices
+// flagged in isTouched (listed in touched) changed degree since idx was
+// built. Untouched vertices keep their relative (degree, id) order, so the
+// new total order is a two-way merge of the compacted old order with the
+// re-sorted touched vertices. The (degree, id) order is strict and total, so
+// the result equals NewDegreeIndex(next) exactly.
+func (idx *DegreeIndex) rebuildDelta(next *graph.Graph, isTouched []bool, touched []int32) *DegreeIndex {
+	n := len(idx.order)
+	out := &DegreeIndex{
+		order:  make([]int32, n),
+		degs:   make([]int32, n),
+		prefix: make([]int64, n+1),
+		pos:    make([]int32, n),
+	}
+
+	// Compact the untouched suffix of the old order into place, leaving the
+	// touched vertices to be interleaved by the merge below.
+	kept := out.order[:0]
+	for _, v := range idx.order {
+		if !isTouched[v] {
+			kept = append(kept, v)
+		}
+	}
+	moved := make([]int32, len(touched))
+	copy(moved, touched)
+	sort.Slice(moved, func(i, j int) bool {
+		di, dj := next.Degree(int(moved[i])), next.Degree(int(moved[j]))
+		if di != dj {
+			return di < dj
+		}
+		return moved[i] < moved[j]
+	})
+
+	// Merge kept (already (degree, id)-sorted: degrees unchanged) with moved,
+	// back to front so the in-place compaction buffer is never overwritten
+	// before it is read.
+	i, j := len(kept)-1, len(moved)-1
+	for k := n - 1; k >= 0; k-- {
+		useMoved := i < 0
+		if !useMoved && j >= 0 {
+			dk, dm := next.Degree(int(kept[i])), next.Degree(int(moved[j]))
+			useMoved = dm > dk || (dm == dk && moved[j] > kept[i])
+		}
+		if useMoved {
+			out.order[k] = moved[j]
+			j--
+		} else {
+			out.order[k] = kept[i]
+			i--
+		}
+	}
+	for k, v := range out.order {
+		d := next.Degree(int(v))
+		out.degs[k] = int32(d)
+		out.prefix[k+1] = out.prefix[k] + int64(d)
+		out.pos[v] = int32(k)
+	}
+	return out
 }

@@ -1,0 +1,128 @@
+package rw
+
+import (
+	"math"
+	"testing"
+
+	"cdrw/internal/gen"
+	"cdrw/internal/graph"
+	"cdrw/internal/rng"
+)
+
+func degreeIndexEqual(a, b *DegreeIndex) bool {
+	if len(a.order) != len(b.order) {
+		return false
+	}
+	for i := range a.order {
+		if a.order[i] != b.order[i] || a.degs[i] != b.degs[i] ||
+			a.prefix[i+1] != b.prefix[i+1] || a.pos[i] != b.pos[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedIndexDeltaMatchesFresh mutates a graph through random edge
+// deltas and checks that the patched index bundle is bit-identical to a
+// fresh warm build over the post-delta graph: same degree order, prefix
+// sums, positions, and the exact same float bits in the 1/deg table.
+func TestSharedIndexDeltaMatchesFresh(t *testing.T) {
+	r := rng.New(0x51de)
+	g, err := gen.Gnp(300, 0.02, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewSharedIndex(g).Warm()
+
+	for round := 0; round < 12; round++ {
+		var adds, dels []graph.Edge
+		seen := map[[2]int]bool{}
+		for k := 0; k < 1+r.Intn(8); k++ {
+			u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+			if u == v {
+				continue
+			}
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if seen[[2]int{lo, hi}] {
+				continue
+			}
+			seen[[2]int{lo, hi}] = true
+			if g.HasEdge(u, v) {
+				dels = append(dels, graph.Edge{U: u, V: v})
+			} else {
+				adds = append(adds, graph.Edge{U: u, V: v})
+			}
+		}
+		next, err := g.ApplyDelta(adds, dels)
+		if err != nil {
+			t.Fatalf("round %d: ApplyDelta: %v", round, err)
+		}
+		touched := make([]int, 0, 2*(len(adds)+len(dels)))
+		for _, e := range adds {
+			touched = append(touched, e.U, e.V)
+		}
+		for _, e := range dels {
+			touched = append(touched, e.U, e.V)
+		}
+
+		got := NewSharedIndexDelta(next, ix, touched)
+		want := NewSharedIndex(next).Warm()
+		if got.Graph() != next {
+			t.Fatalf("round %d: delta index bound to wrong graph", round)
+		}
+		if !degreeIndexEqual(got.Degree(), want.Degree()) {
+			t.Fatalf("round %d: delta-rebuilt DegreeIndex differs from fresh build", round)
+		}
+		gotInv, wantInv := got.DegInv(), want.DegInv()
+		for v := range wantInv {
+			if math.Float64bits(gotInv[v]) != math.Float64bits(wantInv[v]) {
+				t.Fatalf("round %d: DegInv[%d] = %x, fresh %x", round,
+					v, math.Float64bits(gotInv[v]), math.Float64bits(wantInv[v]))
+			}
+		}
+		g, ix = next, got
+	}
+}
+
+// TestSharedIndexDeltaColdPrev checks the fallback: tables the previous
+// bundle never built are built fresh over the new graph.
+func TestSharedIndexDeltaColdPrev(t *testing.T) {
+	g, err := gen.Gnp(100, 0.05, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSharedIndex(g) // never warmed
+	next, err := g.ApplyDelta([]graph.Edge{{U: 0, V: 1}}, nil)
+	if err != nil {
+		if _, err = g.ApplyDelta(nil, []graph.Edge{{U: 0, V: 1}}); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+		next, _ = g.ApplyDelta(nil, []graph.Edge{{U: 0, V: 1}})
+	}
+	got := NewSharedIndexDelta(next, cold, []int{0, 1})
+	want := NewSharedIndex(next).Warm()
+	if !degreeIndexEqual(got.Degree(), want.Degree()) {
+		t.Fatal("cold-prev delta DegreeIndex differs from fresh build")
+	}
+}
+
+// TestSharedIndexDeltaSizeMismatch checks that a vertex-count change falls
+// back to a plain warm build instead of patching across incompatible orders.
+func TestSharedIndexDeltaSizeMismatch(t *testing.T) {
+	small, err := gen.Gnp(50, 0.1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := gen.Gnp(80, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewSharedIndexDelta(big, NewSharedIndex(small).Warm(), []int{0})
+	want := NewSharedIndex(big).Warm()
+	if !degreeIndexEqual(got.Degree(), want.Degree()) {
+		t.Fatal("size-mismatch fallback differs from fresh build")
+	}
+}

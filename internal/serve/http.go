@@ -93,6 +93,7 @@ type statsJSON struct {
 	Stopped      bool `json:"stopped"`
 	FinalSetSize int  `json:"final_set_size"`
 	SizesChecked int  `json:"sizes_checked"`
+	FrozenAt     int  `json:"frozen_at"`
 }
 
 func toStatsJSON(s core.CommunityStats) statsJSON {
@@ -102,6 +103,7 @@ func toStatsJSON(s core.CommunityStats) statsJSON {
 		Stopped:      s.Stopped,
 		FinalSetSize: s.FinalSetSize,
 		SizesChecked: s.SizesChecked,
+		FrozenAt:     s.FrozenAt,
 	}
 }
 
@@ -134,6 +136,7 @@ type server struct {
 //	GET    /graphs                   list registered graphs
 //	PUT    /graphs/{name}            register a graph from an edge-list body
 //	DELETE /graphs/{name}            drop a graph (pools + cached results)
+//	PATCH  /graphs/{name}/edges      apply an NDJSON edge delta in place
 //	POST   /graphs/{name}/generate   sample and register a PPM/Gnp graph
 //	POST   /graphs/{name}/detect     full detection (cached, collapsed)
 //	POST   /graphs/{name}/community  single-seed detection (cached)
@@ -149,6 +152,7 @@ func NewHandler(reg *Registry, m *metrics.ServeMetrics) http.Handler {
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("PUT /graphs/{name}", s.handleUpload)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
+	mux.HandleFunc("PATCH /graphs/{name}/edges", s.handlePatchEdges)
 	mux.HandleFunc("POST /graphs/{name}/generate", s.handleGenerate)
 	mux.HandleFunc("POST /graphs/{name}/detect", s.handleDetect)
 	mux.HandleFunc("POST /graphs/{name}/community", s.handleCommunity)
@@ -254,6 +258,72 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]string{"deleted": name})
+}
+
+// deltaLineJSON is one NDJSON line of a PATCH /graphs/{name}/edges body:
+// {"op":"add","u":3,"v":17}. Op defaults to "add" when omitted.
+type deltaLineJSON struct {
+	Op string `json:"op,omitempty"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// deltaResponse is the PATCH answer: serve.DeltaStats on the wire.
+type deltaResponse struct {
+	Graph       string  `json:"graph"`
+	Generation  int     `json:"generation"`
+	Added       int     `json:"added"`
+	Removed     int     `json:"removed"`
+	Kept        int     `json:"kept"`
+	Reverified  int     `json:"reverified"`
+	Evicted     int     `json:"evicted"`
+	SwapSeconds float64 `json:"swap_seconds"`
+}
+
+// handlePatchEdges streams an NDJSON edge delta into Registry.ApplyDelta.
+// Each body line is one deltaLineJSON; blank lines are skipped; the whole
+// batch is applied as a single atomic generation swap (all-or-nothing — a
+// bad line rejects the entire delta before anything mutates).
+func (s *server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	var adds, dels []graph.Edge
+	for line := 1; ; line++ {
+		var dl deltaLineJSON
+		if err := dec.Decode(&dl); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: delta line %d: %w", line, err))
+			return
+		}
+		switch dl.Op {
+		case "", "add":
+			adds = append(adds, graph.Edge{U: dl.U, V: dl.V})
+		case "del":
+			dels = append(dels, graph.Edge{U: dl.U, V: dl.V})
+		default:
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: delta line %d: unknown op %q (want add or del)", line, dl.Op))
+			return
+		}
+	}
+	stats, err := s.reg.ApplyDelta(r.Context(), name, adds, dels)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, deltaResponse{
+		Graph:       name,
+		Generation:  stats.Generation,
+		Added:       stats.Added,
+		Removed:     stats.Removed,
+		Kept:        stats.Kept,
+		Reverified:  stats.Reverified,
+		Evicted:     stats.Evicted,
+		SwapSeconds: stats.SwapDuration.Seconds(),
+	})
 }
 
 // generateRequest samples a graph server-side: the planted-partition model

@@ -206,3 +206,62 @@ func TestHTTPUploadAndValidation(t *testing.T) {
 	do(t, "POST", srv.URL+"/graphs/g/generate", strings.NewReader(`{"model":"cube","n":8}`),
 		http.StatusBadRequest, &e)
 }
+
+// TestHTTPPatchEdges drives PATCH /graphs/{name}/edges: NDJSON deltas swap
+// generations atomically, bad lines reject the whole batch, and the
+// mutation counters land on /metrics.
+func TestHTTPPatchEdges(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	do(t, "POST", srv.URL+"/graphs/g/generate",
+		strings.NewReader(`{"model":"gnp","n":64,"p":0,"seed":1}`),
+		http.StatusCreated, nil)
+
+	// A two-line batch: op defaults to add.
+	var pr deltaResponse
+	do(t, "PATCH", srv.URL+"/graphs/g/edges",
+		strings.NewReader("{\"op\":\"add\",\"u\":0,\"v\":3}\n{\"u\":1,\"v\":2}\n"),
+		http.StatusOK, &pr)
+	if pr.Generation != 1 || pr.Added != 2 || pr.Removed != 0 {
+		t.Fatalf("patch response %+v, want generation 1 with 2 adds", pr)
+	}
+
+	do(t, "PATCH", srv.URL+"/graphs/g/edges",
+		strings.NewReader(`{"op":"del","u":0,"v":3}`),
+		http.StatusOK, &pr)
+	if pr.Generation != 2 || pr.Removed != 1 {
+		t.Fatalf("patch response %+v, want generation 2 with 1 del", pr)
+	}
+
+	// A bad line rejects the whole batch: the valid first line must not
+	// have been applied.
+	do(t, "PATCH", srv.URL+"/graphs/g/edges",
+		strings.NewReader("{\"op\":\"add\",\"u\":0,\"v\":3}\n{\"op\":\"bogus\",\"u\":4,\"v\":5}\n"),
+		http.StatusBadRequest, nil)
+	do(t, "PATCH", srv.URL+"/graphs/g/edges",
+		strings.NewReader(`{"op":"del","u":1,"v":2}`), // still present: batch above did not apply
+		http.StatusOK, &pr)
+	if pr.Generation != 3 {
+		t.Fatalf("rejected batch bumped the generation: %+v", pr)
+	}
+
+	// Deleting an absent edge is a 400; an unknown graph is a 404.
+	do(t, "PATCH", srv.URL+"/graphs/g/edges",
+		strings.NewReader(`{"op":"del","u":1,"v":2}`), http.StatusBadRequest, nil)
+	do(t, "PATCH", srv.URL+"/graphs/nope/edges",
+		strings.NewReader(`{"op":"add","u":0,"v":1}`), http.StatusNotFound, nil)
+
+	// The mutation counters are on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text, []byte("cdrw_deltas_applied_total 3")) {
+		t.Fatalf("metrics missing delta counters:\n%s", text)
+	}
+}

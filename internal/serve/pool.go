@@ -16,6 +16,14 @@
 // one warmed rw.SharedIndex per pool — per graph generation, when pools come
 // from the Registry — so warm-up cost and resident bytes per handle stay
 // independent of the pool size.
+//
+// Registered graphs mutate in place through Registry.ApplyDelta (HTTP:
+// PATCH /graphs/{name}/edges): the next CSR generation is double-buffered
+// off the serving copy and swapped in atomically, with incremental cache
+// invalidation — single-seed lines disjoint from the delta survive,
+// intersecting ones are re-verified by replaying only their frozen sweep
+// (core.Detector.ReverifyCommunity), and only failures recompute. See
+// docs/ARCHITECTURE.md for the mutation lifecycle.
 package serve
 
 import (

@@ -50,6 +50,11 @@ type Registry struct {
 	poolSize int
 	m        *metrics.ServeMetrics
 
+	// deltaMu serialises ApplyDelta swaps so two deltas never build next
+	// generations off the same serving copy. It is never held together with
+	// mu for longer than a map operation; readers only ever take mu.
+	deltaMu sync.Mutex
+
 	mu      sync.Mutex
 	entries map[string]*entry
 	cache   map[string]*core.Result
@@ -70,13 +75,25 @@ type entry struct {
 	opts  []core.Option
 	gen   int // bumped on replacement; stale cache keys become unreachable
 	ix    *rw.SharedIndex
-	pools map[string]*DetectorPool
+	pools map[string]poolSlot
 }
 
-// commCached is one cached single-seed answer.
+// poolSlot is one per-fingerprint pool plus the merged options that created
+// it — retained so ApplyDelta can recreate the same pool over the next graph
+// generation without re-deriving options from request traffic.
+type poolSlot struct {
+	pool *DetectorPool
+	opts []core.Option
+}
+
+// commCached is one cached single-seed answer. fp repeats the resolved
+// fingerprint from the cache key so delta migration can re-key and re-verify
+// lines without parsing key strings; stats carries the seed and the frozen
+// walk length the re-verification replays.
 type commCached struct {
 	community []int
 	stats     core.CommunityStats
+	fp        string
 }
 
 // flight is one in-flight Detect run identical requests collapse onto.
@@ -124,7 +141,7 @@ func (r *Registry) Register(name string, g *graph.Graph, opts ...core.Option) er
 		gen = old.gen + 1
 		r.invalidateLocked(name)
 	}
-	r.entries[name] = &entry{g: g, opts: opts, gen: gen, pools: make(map[string]*DetectorPool)}
+	r.entries[name] = &entry{g: g, opts: opts, gen: gen, pools: make(map[string]poolSlot)}
 	return nil
 }
 
@@ -198,8 +215,8 @@ func (r *Registry) Pool(name string, opts ...core.Option) (*DetectorPool, int, c
 		return nil, 0, core.Settings{}, err
 	}
 	fp := settings.Fingerprint()
-	if p, ok := e.pools[fp]; ok {
-		return p, e.gen, settings, nil
+	if slot, ok := e.pools[fp]; ok {
+		return slot.pool, e.gen, settings, nil
 	}
 	if e.ix == nil {
 		e.ix = rw.NewSharedIndex(e.g)
@@ -215,7 +232,7 @@ func (r *Registry) Pool(name string, opts ...core.Option) (*DetectorPool, int, c
 			break
 		}
 	}
-	e.pools[fp] = p
+	e.pools[fp] = poolSlot{pool: p, opts: merged}
 	return p, e.gen, settings, nil
 }
 
@@ -345,7 +362,7 @@ func (r *Registry) DetectCommunity(ctx context.Context, name string, seed int, o
 	}
 	r.mu.Lock()
 	if _, dup := r.comm[key]; !dup {
-		r.comm[key] = commCached{community: out, stats: stats}
+		r.comm[key] = commCached{community: out, stats: stats, fp: settings.Fingerprint()}
 		r.rememberLocked(key)
 	}
 	r.mu.Unlock()
@@ -404,7 +421,7 @@ func (r *Registry) Stream(ctx context.Context, name string, opts ...core.Option)
 				ckey := cacheKey(name, gen, fmt.Sprintf("community:%d", det.Stats.Seed), fp)
 				r.mu.Lock()
 				if _, dup := r.comm[ckey]; !dup {
-					r.comm[ckey] = commCached{community: det.Raw, stats: det.Stats}
+					r.comm[ckey] = commCached{community: det.Raw, stats: det.Stats, fp: fp}
 					r.rememberLocked(ckey)
 				}
 				r.mu.Unlock()
