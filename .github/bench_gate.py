@@ -30,7 +30,16 @@ custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
     ns/op of .../cold at n=10⁵ (the incremental cache re-verification
     acceptance bar of the edge-mutation path). These pairs run non-short
     only; CI appends the full-size results to head.bench before gating,
-    and a missing pair fails the gate.
+    and a missing pair fails the gate, or
+  * BenchmarkClusterRound reports a wire-ratio median above 2.0 — the
+    cluster mode's Conversion-Theorem validation: the measured max
+    per-round link load (in share words) over a real-socket 3-shard
+    cluster, divided by the k-machine simulator's predicted MaxLinkLoad
+    for the identical placement. Coalescing (one share per boundary
+    vertex per link, vs one simulated message per edge) keeps the true
+    ratio at or below 1.0; 2.0 is the hard ceiling. CI appends the
+    cluster benchmark to head.bench before gating; a missing metric
+    fails the gate.
 
 Pass "-" as the base file to skip the regression comparison and run only
 the absolute gates. Benchmarks that exist only on one side are reported
@@ -46,6 +55,7 @@ import sys
 NS_UNITS = ("ns/op", "ns/step", "ns/sweep", "rounds/op")
 ALLOC_UNIT = "allocs/op"
 BYTES_UNIT = "bytes/handle"
+WIRE_RATIO_UNIT = "wire-ratio"
 GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv",
                     "DetectorPool", "MixSweep", "DetectStep")
 ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense",
@@ -79,6 +89,13 @@ PAIR_GATES = (
      "ns/op", 10.0),
 )
 
+# Absolute ceiling on the cluster mode's measured-vs-predicted link load:
+# BenchmarkClusterRound's wire-ratio (measured max per-round link words over
+# real sockets / simulated MaxLinkLoad for the same placement) must stay
+# at or below this. Head-only, like the other absolute gates.
+WIRE_RATIO_BENCH = "BenchmarkClusterRound"
+WIRE_RATIO_MAX = 2.0
+
 
 def load(path):
     metrics = collections.defaultdict(list)
@@ -92,7 +109,8 @@ def load(path):
             # BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
             name = parts[0].rsplit("-", 1)[0]
             for value, unit in zip(parts[1:], parts[2:]):
-                if unit in NS_UNITS or unit == ALLOC_UNIT or unit == BYTES_UNIT:
+                if (unit in NS_UNITS or unit == ALLOC_UNIT
+                        or unit == BYTES_UNIT or unit == WIRE_RATIO_UNIT):
                     try:
                         metrics[(name, unit)].append(float(value))
                     except ValueError:
@@ -160,6 +178,19 @@ def main():
         else:
             print(f"{label} pair missing from head REGRESSION")
             failed.append(opt_name)
+
+    # Absolute gate: the cluster mode's measured-vs-predicted link load.
+    wire_key = (WIRE_RATIO_BENCH, WIRE_RATIO_UNIT)
+    if wire_key in head:
+        ratio = median(head[wire_key])
+        status = "ok" if ratio <= WIRE_RATIO_MAX else "REGRESSION"
+        print(f"{WIRE_RATIO_BENCH} [{WIRE_RATIO_UNIT}]: measured/predicted link "
+              f"load {ratio:,.2f} (want <= {WIRE_RATIO_MAX:g}) {status}")
+        if ratio > WIRE_RATIO_MAX:
+            failed.append(WIRE_RATIO_BENCH)
+    else:
+        print("ClusterRound wire-ratio missing from head REGRESSION")
+        failed.append(WIRE_RATIO_BENCH)
 
     # Relative gate: ns-valued regressions against the base ref.
     for key in sorted(head):

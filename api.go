@@ -50,6 +50,7 @@ import (
 	"net/http"
 
 	"cdrw/internal/baseline"
+	"cdrw/internal/cluster"
 	"cdrw/internal/congest"
 	"cdrw/internal/core"
 	"cdrw/internal/gen"
@@ -455,6 +456,37 @@ func NewServeHandler(reg *GraphRegistry, m *ServeMetrics) http.Handler {
 	return serve.NewHandler(reg, m)
 }
 
+// Cluster mode: the k-machine model over real sockets. k shards place
+// vertices by the deterministic HashPartition, discover each other by
+// gossip, and answer CONGEST detections from any shard bit-identically to
+// a single process — while counting the per-link wire traffic the
+// Conversion Theorem bounds.
+type (
+	// ClusterConfig is one shard's static cluster membership: total size,
+	// the URL peers reach this shard at, and any known peers to join.
+	ClusterConfig = cluster.Config
+	// ClusterNode is one shard of a cdrwd cluster: gossip membership, the
+	// shard-local round protocol, and the cluster-aware detection driver.
+	ClusterNode = cluster.Node
+	// ClusterStatus reports a shard's membership view (served on /readyz).
+	ClusterStatus = serve.ClusterStatus
+)
+
+// NewClusterNode attaches a cluster shard to reg. Call Start to begin
+// gossiping and Stop on shutdown; mount the node with
+// NewClusterServeHandler so peers can reach its /cluster/ protocol.
+func NewClusterNode(reg *GraphRegistry, cfg ClusterConfig) (*ClusterNode, error) {
+	return cluster.New(reg, cfg)
+}
+
+// NewClusterServeHandler is NewServeHandler plus the cluster surface:
+// /readyz reports membership, /cluster/ serves the shard-to-shard round
+// protocol, CONGEST detections route through the cluster, and /metrics
+// appends the per-link wire counters.
+func NewClusterServeHandler(reg *GraphRegistry, m *ServeMetrics, node *ClusterNode) http.Handler {
+	return serve.NewClusterHandler(reg, m, node)
+}
+
 // Distributed engines.
 type (
 	// CongestNetwork simulates the CONGEST model on an input graph.
@@ -553,6 +585,14 @@ func CongestEstimateConductanceContext(ctx context.Context, nw *CongestNetwork, 
 // RandomVertexPartition assigns vertices uniformly to k machines (RVP).
 func RandomVertexPartition(n, k int, r *RNG) (KMachineAssignment, error) {
 	return kmachine.RandomVertexPartition(n, k, r)
+}
+
+// HashPartition assigns vertices to k machines by a deterministic seeded
+// hash: the RVP's balance properties without shared RNG state, so
+// independent processes agree on every vertex's home from (n, k, seed)
+// alone. It is the placement cluster mode (cdrwd -cluster-size) uses.
+func HashPartition(n, k int, seed uint64) (KMachineAssignment, error) {
+	return kmachine.HashPartition(n, k, seed)
 }
 
 // NewKMachineSimulator creates a Conversion-Theorem converter with the

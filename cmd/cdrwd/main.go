@@ -8,6 +8,7 @@
 // Endpoints (see internal/serve.NewHandler for the full table):
 //
 //	GET    /healthz
+//	GET    /readyz
 //	GET    /metrics
 //	GET    /graphs
 //	PUT    /graphs/{name}             (edge-list body)
@@ -26,6 +27,17 @@
 //	echo '{"op":"add","u":3,"v":17}' |
 //	  curl -X PATCH --data-binary @- localhost:8080/graphs/demo/edges
 //
+// Cluster mode (-cluster-size k) executes the k-machine model over real
+// sockets: k daemons discover each other coordinator-free via -join, place
+// vertices by the deterministic hash partition, and answer CONGEST
+// detections by exchanging per-round share payloads under /cluster/ — any
+// shard answers POST /graphs/{name}/detect with a result bit-identical to a
+// single-process run:
+//
+//	cdrwd -addr :8080 -cluster-size 3 -advertise http://10.0.0.1:8080 &
+//	cdrwd -addr :8080 -cluster-size 3 -advertise http://10.0.0.2:8080 -join http://10.0.0.1:8080 &
+//	cdrwd -addr :8080 -cluster-size 3 -advertise http://10.0.0.3:8080 -join http://10.0.0.1:8080 &
+//
 // The full endpoint and metrics reference is docs/API.md.
 package main
 
@@ -39,9 +51,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cdrw/internal/cluster"
 	"cdrw/internal/metrics"
 	"cdrw/internal/serve"
 )
@@ -49,7 +63,25 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	poolSize := flag.Int("pool", 0, "detector handles per (graph, option) pool (0 = GOMAXPROCS)")
+	clusterSize := flag.Int("cluster-size", 0, "run as one shard of a k-machine cluster of this size (0 = single process)")
+	advertise := flag.String("advertise", "", "base URL peers reach this shard at (required with -cluster-size)")
+	join := flag.String("join", "", "comma-separated base URLs of known peers to gossip membership with")
+	placementSeed := flag.Uint64("placement-seed", 1, "seed of the deterministic hash vertex placement (must match on every shard)")
 	flag.Parse()
+
+	var cfg *cluster.Config
+	if *clusterSize > 0 {
+		cfg = &cluster.Config{
+			Size:          *clusterSize,
+			Advertise:     strings.TrimRight(*advertise, "/"),
+			PlacementSeed: *placementSeed,
+		}
+		for _, peer := range strings.Split(*join, ",") {
+			if peer = strings.TrimRight(strings.TrimSpace(peer), "/"); peer != "" {
+				cfg.Join = append(cfg.Join, peer)
+			}
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -58,7 +90,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("cdrwd listening on %s (pool size %d per graph/option set)", ln.Addr(), *poolSize)
-	if err := run(ctx, ln, *poolSize); err != nil {
+	if err := run(ctx, ln, *poolSize, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -66,10 +98,24 @@ func main() {
 // run serves the daemon on ln until ctx is done, then drains in-flight
 // requests (bounded) and returns. Split from main so tests can drive a full
 // daemon lifecycle — including shutdown goroutine accounting — in-process.
-func run(ctx context.Context, ln net.Listener, poolSize int) error {
+// A non-nil clusterCfg attaches a cluster shard node to the handler.
+func run(ctx context.Context, ln net.Listener, poolSize int, clusterCfg *cluster.Config) error {
 	m := metrics.NewServeMetrics()
+	reg := serve.NewRegistry(poolSize, m)
+	handler := serve.NewHandler(reg, m)
+	if clusterCfg != nil {
+		node, err := cluster.New(reg, *clusterCfg)
+		if err != nil {
+			return fmt.Errorf("cdrwd: %w", err)
+		}
+		node.Start()
+		defer node.Stop()
+		handler = serve.NewClusterHandler(reg, m, node)
+		log.Printf("cdrwd cluster shard %s joining %d-machine cluster (placement seed %d)",
+			clusterCfg.Advertise, clusterCfg.Size, clusterCfg.PlacementSeed)
+	}
 	srv := &http.Server{
-		Handler: serve.NewHandler(serve.NewRegistry(poolSize, m), m),
+		Handler: handler,
 		// Streams are long-lived by design; only bound the header read.
 		// Deliberately no BaseContext on the signal ctx: shutdown must
 		// drain in-flight requests, not cancel them — hard cancellation is

@@ -4,12 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"cdrw/internal/cluster"
 )
 
 // startDaemon runs the full daemon lifecycle in-process on an ephemeral
@@ -23,7 +26,7 @@ func startDaemon(t *testing.T) (string, func() error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, ln, 2) }()
+	go func() { done <- run(ctx, ln, 2, nil) }()
 	url := "http://" + ln.Addr().String()
 	// Wait for the daemon to accept.
 	deadline := time.Now().Add(5 * time.Second)
@@ -105,6 +108,126 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 	if covered != 512 {
 		t.Fatalf("detections cover %d of 512 vertices", covered)
+	}
+}
+
+// TestDaemonClusterLifecycle boots a 3-shard cluster through the real run()
+// entry point, waits for readiness to flip, loads the same generated graph
+// on every shard, and checks a CONGEST detection answered by a non-seed
+// shard byte-matches the single-process daemon's answer — the in-process
+// twin of CI's cluster smoke job.
+func TestDaemonClusterLifecycle(t *testing.T) {
+	const k = 3
+	lns := make([]net.Listener, k)
+	urls := make([]string, k)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, k)
+	for i := range lns {
+		cfg := &cluster.Config{Size: k, Advertise: urls[i], PlacementSeed: 7}
+		if i > 0 {
+			cfg.Join = []string{urls[0]}
+		}
+		go func(i int) { done <- run(ctx, lns[i], 1, cfg) }(i)
+	}
+	defer func() {
+		cancel()
+		for i := 0; i < k; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Error(err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Error("cluster daemon did not shut down")
+			}
+		}
+	}()
+
+	gen := `{"n":400,"r":2,"p":0.07,"q":0.003,"seed":5}`
+	deadline := time.Now().Add(15 * time.Second)
+	for _, u := range urls {
+		for {
+			resp, err := http.Post(u+"/graphs/demo/generate", "application/json", strings.NewReader(gen))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusCreated {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %s never accepted the graph: %v", u, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for _, u := range urls {
+		for {
+			resp, err := http.Get(u + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %s never became ready", u)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	soloURL, soloShutdown := startDaemon(t)
+	defer func() {
+		if err := soloShutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	resp, err := http.Post(soloURL+"/graphs/demo/generate", "application/json", strings.NewReader(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	detect := `{"engine":"congest","seed":2}`
+	read := func(u string) string {
+		resp, err := http.Post(u+"/graphs/demo/detect", "application/json", strings.NewReader(detect))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s: %s", u, resp.Status, b)
+		}
+		return string(b)
+	}
+	want := read(soloURL)
+	for _, u := range urls {
+		if got := read(u); got != want {
+			t.Fatalf("shard %s response differs from single-process:\n got %s\nwant %s", u, got, want)
+		}
+	}
+
+	// The shards that served share pulls must have counted wire traffic.
+	resp, err = http.Get(urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "cdrw_cluster_pulls_total") {
+		t.Fatal("cluster metrics missing from /metrics")
 	}
 }
 

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cdrw/internal/core"
+)
+
+// Detect implements serve.ClusterBackend: a full pool-loop detection
+// executed over the cluster. Any shard can drive it — the driver runs the
+// unmodified CONGEST engine and only flood rounds touch the network — and
+// the merged Result is bit-identical to a single-process run of the same
+// resolved settings, so responses are byte-comparable across deployment
+// modes. Non-CONGEST engines return handled=false and fall back to the
+// local pools (in-memory engines have no distributed realisation to route).
+func (n *Node) Detect(ctx context.Context, name string, opts ...core.Option) (*core.Result, core.Settings, bool, error) {
+	det, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
+	if !handled || err != nil {
+		return nil, settings, handled, err
+	}
+	defer cleanup()
+	res, err := det.Detect(ctx)
+	return res, settings, true, err
+}
+
+// DetectCommunity is Detect for one seed.
+func (n *Node) DetectCommunity(ctx context.Context, name string, seed int, opts ...core.Option) ([]int, core.CommunityStats, core.Settings, bool, error) {
+	det, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
+	if !handled || err != nil {
+		return nil, core.CommunityStats{}, settings, handled, err
+	}
+	defer cleanup()
+	community, stats, err := det.DetectCommunity(ctx, seed)
+	return community, stats, settings, true, err
+}
+
+// newDriver resolves the request, establishes a session on every shard and
+// returns a Detector whose flood rounds run over the cluster. handled=false
+// (with no error) means the request is not cluster-executable.
+func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (*core.Detector, core.Settings, func(), bool, error) {
+	g, merged, settings, err := n.reg.Resolve(name, opts...)
+	if err != nil {
+		return nil, core.Settings{}, nil, true, err
+	}
+	if settings.Engine != core.EngineCongest {
+		return nil, core.Settings{}, nil, false, nil
+	}
+	ranks, self, err := n.roster()
+	if err != nil {
+		return nil, settings, nil, true, err
+	}
+	assign, err := hashAssign(g.NumVertices(), len(ranks), n.cfg.PlacementSeed)
+	if err != nil {
+		return nil, settings, nil, true, err
+	}
+
+	sid := fmt.Sprintf("r%d-%d", self, n.seq.Add(1))
+	sreq := sessionRequest{
+		Session:       sid,
+		Graph:         name,
+		Members:       ranks,
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		PlacementSeed: n.cfg.PlacementSeed,
+	}
+	created := make([]int, 0, len(ranks))
+	cleanup := func() {
+		for _, m := range created {
+			if m == self {
+				n.dropSession(sid)
+				continue
+			}
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = n.deleteSession(cctx, ranks[m], sid)
+			cancel()
+		}
+	}
+	for m, peer := range ranks {
+		if m == self {
+			if err := n.createSession(sreq); err != nil {
+				cleanup()
+				return nil, settings, nil, true, err
+			}
+		} else {
+			var coord int64
+			if err := n.postJSON(ctx, peer+"/cluster/sessions", sreq, nil, &coord); err != nil {
+				cleanup()
+				return nil, settings, nil, true, err
+			}
+			n.metrics.addCoord(coord)
+		}
+		created = append(created, m)
+	}
+	local, err := n.session(sid)
+	if err != nil {
+		cleanup()
+		return nil, settings, nil, true, err
+	}
+
+	tr := &roundTransport{node: n, sid: sid, assign: assign, peers: ranks, self: self, local: local}
+	det, err := core.NewDetector(g, append(merged, core.WithCongestTransport(tr))...)
+	if err != nil {
+		cleanup()
+		return nil, settings, nil, true, err
+	}
+	return det, settings, cleanup, true, nil
+}
+
+// deleteSession tears one remote session down, best-effort.
+func (n *Node) deleteSession(ctx context.Context, peer, sid string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, peer+"/cluster/sessions/"+sid, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cdrw/internal/serve"
+)
+
+// Handler returns the shard-to-shard protocol surface; serve mounts it
+// under /cluster/ (patterns carry the prefix, so no stripping happens):
+//
+//	POST   /cluster/join                          gossip membership step
+//	GET    /cluster/info                          membership view
+//	POST   /cluster/sessions                      create a detection session
+//	DELETE /cluster/sessions/{sid}                drop a session
+//	POST   /cluster/sessions/{sid}/advance        drive one flood round
+//	GET    /cluster/sessions/{sid}/shares         pull frozen boundary shares
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/join", n.handleJoin)
+	mux.HandleFunc("GET /cluster/info", n.handleInfo)
+	mux.HandleFunc("POST /cluster/sessions", n.handleCreateSession)
+	mux.HandleFunc("DELETE /cluster/sessions/{sid}", n.handleDeleteSession)
+	mux.HandleFunc("POST /cluster/sessions/{sid}/advance", n.handleAdvance)
+	mux.HandleFunc("GET /cluster/sessions/{sid}/shares", n.handleShares)
+	return mux
+}
+
+func clusterError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrClusterNotReady):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, errCluster):
+		status = http.StatusConflict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterError(w, fmt.Errorf("%w: bad join body: %v", errCluster, err))
+		return
+	}
+	n.merge(append(req.Members, req.Advertise))
+	st := n.Status()
+	writeJSON(w, joinResponse{Members: st.Members, Size: st.Size})
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, n.Status())
+}
+
+func (n *Node) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterError(w, fmt.Errorf("%w: bad session body: %v", errCluster, err))
+		return
+	}
+	if err := n.createSession(req); err != nil {
+		clusterError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"session": req.Session})
+}
+
+func (n *Node) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	n.dropSession(r.PathValue("sid"))
+	writeJSON(w, map[string]string{"deleted": r.PathValue("sid")})
+}
+
+func (n *Node) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	s, err := n.session(r.PathValue("sid"))
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	var req advanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterError(w, fmt.Errorf("%w: bad advance body: %v", errCluster, err))
+		return
+	}
+	resp, err := s.advance(r.Context(), req)
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (n *Node) handleShares(w http.ResponseWriter, r *http.Request) {
+	s, err := n.session(r.PathValue("sid"))
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	round, err := strconv.Atoi(r.URL.Query().Get("round"))
+	if err != nil {
+		clusterError(w, fmt.Errorf("%w: bad round: %v", errCluster, err))
+		return
+	}
+	to, err := strconv.Atoi(r.URL.Query().Get("to"))
+	if err != nil {
+		clusterError(w, fmt.Errorf("%w: bad to: %v", errCluster, err))
+		return
+	}
+	payload, err := s.shares(r.Context(), round, to)
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(payload)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// WireMetrics counts what actually crossed the sockets, per machine link —
+// the measured side of the Conversion-Theorem validation. Links are counted
+// at the puller (the receiving shard), so every byte is counted exactly once
+// and only real HTTP transfers count (a shard never pulls from itself).
+//
+// Words count share entries — one probability value routed to a vertex
+// owner, the unit the kmachine simulator's link loads are expressed in —
+// while bytes count the encoded payload including JSON framing. Because one
+// pull carries a link's entire round, the per-pull word count IS that link's
+// per-round load, and MaxLinkWords is directly comparable to the simulated
+// Results.MaxLinkLoad.
+type WireMetrics struct {
+	mu         sync.Mutex
+	k          int
+	linkBytes  []int64 // k*k, from*k+to
+	linkWords  []int64
+	pulls      int64
+	rounds     int64
+	coordBytes int64
+	maxWords   int64 // largest single-pull word count: measured max per-round link load
+	maxBytes   int64
+}
+
+// init sizes the per-link counters once membership settles.
+func (m *WireMetrics) init(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.k != k {
+		m.k = k
+		m.linkBytes = make([]int64, k*k)
+		m.linkWords = make([]int64, k*k)
+	}
+}
+
+// addPull records one shares pull over the from→to machine link.
+func (m *WireMetrics) addPull(from, to int, bytes, words int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pulls++
+	if m.k > 0 && from >= 0 && from < m.k && to >= 0 && to < m.k {
+		m.linkBytes[from*m.k+to] += bytes
+		m.linkWords[from*m.k+to] += words
+	}
+	if words > m.maxWords {
+		m.maxWords = words
+	}
+	if bytes > m.maxBytes {
+		m.maxBytes = bytes
+	}
+}
+
+// addRounds records completed flood rounds driven through this node.
+func (m *WireMetrics) addRounds(n int64) {
+	m.mu.Lock()
+	m.rounds += n
+	m.mu.Unlock()
+}
+
+// addCoord records driver↔shard coordination traffic (walk-state routing and
+// session control) — deliberately separate from the link counters: in the
+// k-machine model the walk state lives on the machines, and only the
+// shard↔shard share exchange is the traffic the Conversion Theorem bounds.
+func (m *WireMetrics) addCoord(bytes int64) {
+	m.mu.Lock()
+	m.coordBytes += bytes
+	m.mu.Unlock()
+}
+
+// MaxLinkWords returns the largest per-round word load measured on any
+// machine link — the quantity to hold against the simulator's MaxLinkLoad.
+func (m *WireMetrics) MaxLinkWords() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxWords
+}
+
+// MaxLinkBytes returns the largest single-pull encoded payload.
+func (m *WireMetrics) MaxLinkBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxBytes
+}
+
+// TotalLinkBytes returns all bytes pulled across machine links.
+func (m *WireMetrics) TotalLinkBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for _, b := range m.linkBytes {
+		sum += b
+	}
+	return sum
+}
+
+// Rounds returns the flood rounds driven through this node.
+func (m *WireMetrics) Rounds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rounds
+}
+
+// WritePrometheus appends the wire counters in Prometheus text exposition
+// format; serve's /metrics endpoint calls it after the serving counters.
+func (m *WireMetrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := fmt.Fprintf(w,
+		"# HELP cdrw_cluster_pulls_total Share payloads pulled across machine links.\n"+
+			"# TYPE cdrw_cluster_pulls_total counter\n"+
+			"cdrw_cluster_pulls_total %d\n"+
+			"# HELP cdrw_cluster_rounds_total Flood rounds driven through this shard.\n"+
+			"# TYPE cdrw_cluster_rounds_total counter\n"+
+			"cdrw_cluster_rounds_total %d\n"+
+			"# HELP cdrw_cluster_coord_bytes_total Driver-to-shard coordination bytes (walk-state routing, sessions).\n"+
+			"# TYPE cdrw_cluster_coord_bytes_total counter\n"+
+			"cdrw_cluster_coord_bytes_total %d\n"+
+			"# HELP cdrw_cluster_max_link_words Largest per-round share-word load measured on any machine link.\n"+
+			"# TYPE cdrw_cluster_max_link_words gauge\n"+
+			"cdrw_cluster_max_link_words %d\n"+
+			"# HELP cdrw_cluster_max_link_bytes Largest per-round encoded payload on any machine link.\n"+
+			"# TYPE cdrw_cluster_max_link_bytes gauge\n"+
+			"cdrw_cluster_max_link_bytes %d\n",
+		m.pulls, m.rounds, m.coordBytes, m.maxWords, m.maxBytes); err != nil {
+		return err
+	}
+	if m.k > 0 {
+		if _, err := fmt.Fprintf(w,
+			"# HELP cdrw_cluster_wire_bytes_total Bytes pulled over each machine link.\n"+
+				"# TYPE cdrw_cluster_wire_bytes_total counter\n"); err != nil {
+			return err
+		}
+		for from := 0; from < m.k; from++ {
+			for to := 0; to < m.k; to++ {
+				if b := m.linkBytes[from*m.k+to]; b != 0 {
+					if _, err := fmt.Fprintf(w, "cdrw_cluster_wire_bytes_total{from=\"%d\",to=\"%d\"} %d\n", from, to, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w,
+			"# HELP cdrw_cluster_wire_words_total Share words pulled over each machine link.\n"+
+				"# TYPE cdrw_cluster_wire_words_total counter\n"); err != nil {
+			return err
+		}
+		for from := 0; from < m.k; from++ {
+			for to := 0; to < m.k; to++ {
+				if words := m.linkWords[from*m.k+to]; words != 0 {
+					if _, err := fmt.Fprintf(w, "cdrw_cluster_wire_words_total{from=\"%d\",to=\"%d\"} %d\n", from, to, words); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

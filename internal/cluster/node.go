@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdrw/internal/serve"
+)
+
+// errCluster is the sentinel every cluster-machinery failure wraps; serve
+// maps it to 502. Not-ready conditions wrap serve.ErrClusterNotReady (503).
+var errCluster = serve.ErrCluster
+
+// gossipInterval paces the join loop until membership settles.
+const gossipInterval = 150 * time.Millisecond
+
+// Config describes one shard of a static cluster.
+type Config struct {
+	// Size is the expected member count k (≥ 2). Membership settles — and
+	// the shard turns ready — exactly when Size distinct members are known.
+	Size int
+	// Advertise is this shard's own base URL as peers reach it
+	// (e.g. "http://10.0.0.3:8080").
+	Advertise string
+	// Join lists base URLs of any known peers; coordinator-free discovery
+	// gossips the member set outward from these seeds, so each shard only
+	// needs one reachable peer (the first shard needs none).
+	Join []string
+	// PlacementSeed keys the deterministic hash placement
+	// (kmachine.HashPartition). Every shard must use the same seed.
+	PlacementSeed uint64
+	// Client issues all peer HTTP requests; nil uses a private default.
+	Client *http.Client
+}
+
+// Node is one cluster shard: membership, the shard side of the round
+// protocol (sessions), and the driver side (Detect/DetectCommunity) for
+// requests that land here. It implements serve.ClusterBackend.
+type Node struct {
+	reg    *serve.Registry
+	cfg    Config
+	client *http.Client
+
+	mu       sync.Mutex
+	members  map[string]struct{}
+	ranks    []string // sorted members, valid once settled
+	self     int      // own rank, valid once settled
+	settled  bool
+	sessions map[string]*session
+
+	seq     atomic.Int64
+	metrics WireMetrics
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a shard node over the registry its daemon serves from.
+func New(reg *serve.Registry, cfg Config) (*Node, error) {
+	if cfg.Size < 2 {
+		return nil, fmt.Errorf("cluster: size %d must be ≥ 2", cfg.Size)
+	}
+	if cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: empty advertise URL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	n := &Node{
+		reg:      reg,
+		cfg:      cfg,
+		client:   client,
+		members:  map[string]struct{}{cfg.Advertise: {}},
+		sessions: make(map[string]*session),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, peer := range cfg.Join {
+		if peer != "" && peer != cfg.Advertise {
+			n.members[peer] = struct{}{}
+		}
+	}
+	n.checkSettledLocked()
+	return n, nil
+}
+
+// Start launches the gossip loop. It returns immediately; readiness flips
+// asynchronously once Size members are known. Even an already-settled shard
+// (complete Join list) announces itself once, so peers booted with partial
+// seed lists still learn the full membership from it.
+func (n *Node) Start() {
+	go func() {
+		defer close(n.done)
+		ticker := time.NewTicker(gossipInterval)
+		defer ticker.Stop()
+		for {
+			n.gossip()
+			if n.Ready() {
+				return
+			}
+			select {
+			case <-ticker.C:
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the gossip loop.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+// gossip pushes this shard's member view to every known peer and merges
+// what comes back.
+func (n *Node) gossip() {
+	n.mu.Lock()
+	req := joinRequest{Advertise: n.cfg.Advertise, Members: memberList(n.members)}
+	n.mu.Unlock()
+	for _, peer := range req.Members {
+		if peer == n.cfg.Advertise {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		var resp joinResponse
+		err := n.postJSON(ctx, peer+"/cluster/join", req, &resp, nil)
+		cancel()
+		if err != nil {
+			continue // unreachable peers retry next tick
+		}
+		n.merge(resp.Members)
+	}
+}
+
+// merge folds peers into the member set and re-checks settlement.
+func (n *Node) merge(peers []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.settled {
+		return
+	}
+	for _, p := range peers {
+		if p != "" {
+			n.members[p] = struct{}{}
+		}
+	}
+	n.checkSettledLocked()
+}
+
+// checkSettledLocked freezes the rank order the moment Size members are
+// known: ranks are the sorted member URLs, so every shard derives the same
+// numbering with no coordination.
+func (n *Node) checkSettledLocked() {
+	if n.settled || len(n.members) != n.cfg.Size {
+		return
+	}
+	n.ranks = memberList(n.members)
+	n.self = sort.SearchStrings(n.ranks, n.cfg.Advertise)
+	n.settled = true
+	n.metrics.init(n.cfg.Size)
+}
+
+func memberList(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ready reports whether membership has settled.
+func (n *Node) Ready() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.settled
+}
+
+// Status returns the shard's membership view for /readyz and /cluster/info.
+func (n *Node) Status() serve.ClusterStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := serve.ClusterStatus{
+		Advertise: n.cfg.Advertise,
+		Size:      n.cfg.Size,
+		Members:   memberList(n.members),
+		Settled:   n.settled,
+		Rank:      -1,
+	}
+	if n.settled {
+		st.Rank = n.self
+	}
+	return st
+}
+
+// Metrics exposes the wire counters (read-only use).
+func (n *Node) Metrics() *WireMetrics { return &n.metrics }
+
+// WriteMetrics implements serve.ClusterBackend.
+func (n *Node) WriteMetrics(w io.Writer) error { return n.metrics.WritePrometheus(w) }
+
+// roster returns the settled rank order and this shard's rank.
+func (n *Node) roster() ([]string, int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.settled {
+		return nil, 0, fmt.Errorf("%w: %d of %d members known", serve.ErrClusterNotReady, len(n.members), n.cfg.Size)
+	}
+	return n.ranks, n.self, nil
+}
+
+// session looks up a live session.
+func (n *Node) session(id string) (*session, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown session %q", errCluster, id)
+	}
+	return s, nil
+}
+
+// createSession installs the shard-local state for one detection after
+// validating that this shard agrees on membership and holds the same graph.
+func (n *Node) createSession(req sessionRequest) error {
+	ranks, self, err := n.roster()
+	if err != nil {
+		return err
+	}
+	if len(req.Members) != len(ranks) {
+		return fmt.Errorf("%w: session %s: driver sees %d members, shard sees %d", errCluster, req.Session, len(req.Members), len(ranks))
+	}
+	for i := range ranks {
+		if req.Members[i] != ranks[i] {
+			return fmt.Errorf("%w: session %s: member %d is %q here, %q at driver", errCluster, req.Session, i, ranks[i], req.Members[i])
+		}
+	}
+	g, ok := n.reg.Graph(req.Graph)
+	if !ok {
+		return fmt.Errorf("%w: session %s: graph %q not registered on shard %d", errCluster, req.Session, req.Graph, self)
+	}
+	if g.NumVertices() != req.Vertices || g.NumEdges() != req.Edges {
+		return fmt.Errorf("%w: session %s: graph %q is %dv/%de here, %dv/%de at driver — shards must register identical graphs",
+			errCluster, req.Session, req.Graph, g.NumVertices(), g.NumEdges(), req.Vertices, req.Edges)
+	}
+	assign, err := hashAssign(g.NumVertices(), len(ranks), req.PlacementSeed)
+	if err != nil {
+		return err
+	}
+	store, err := NewStore(g, assign, self)
+	if err != nil {
+		return fmt.Errorf("%w: session %s: %v", errCluster, req.Session, err)
+	}
+	s := newSession(n, req.Session, g, store, ranks, self)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.sessions[req.Session]; dup {
+		return fmt.Errorf("%w: duplicate session %q", errCluster, req.Session)
+	}
+	n.sessions[req.Session] = s
+	return nil
+}
+
+// dropSession removes a session; missing ids are fine (best-effort cleanup).
+func (n *Node) dropSession(id string) {
+	n.mu.Lock()
+	delete(n.sessions, id)
+	n.mu.Unlock()
+}
+
+// pullShares fetches one peer's frozen boundary shares for one round and
+// counts the transfer against the from→to machine link.
+func (n *Node) pullShares(ctx context.Context, peer, sid string, round, self, from, walks int) ([][]entry, error) {
+	url := fmt.Sprintf("%s/cluster/sessions/%s/shares?round=%d&to=%d", peer, sid, round, self)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCluster, err)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: pull shares from %s: %s: %s", errCluster, peer, resp.Status, firstLine(body))
+	}
+	var pl sharesPayload
+	if err := json.Unmarshal(body, &pl); err != nil {
+		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+	}
+	if pl.Round != round || len(pl.Shares) != walks {
+		return nil, fmt.Errorf("%w: pull shares from %s: got round %d/%d walks, want %d/%d", errCluster, peer, pl.Round, len(pl.Shares), round, walks)
+	}
+	var words int64
+	for _, sh := range pl.Shares {
+		words += int64(len(sh))
+	}
+	n.metrics.addPull(from, self, int64(len(body)), words)
+	return pl.Shares, nil
+}
+
+// postJSON posts v to url and decodes the response into out (which may be
+// nil). When wire is non-nil it receives the request+response body sizes —
+// the driver's coordination-byte accounting.
+func (n *Node) postJSON(ctx context.Context, url string, v, out any, wire *int64) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errCluster, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", errCluster, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: post %s: %v", errCluster, url, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return fmt.Errorf("%w: post %s: %v", errCluster, url, err)
+	}
+	if wire != nil {
+		*wire += int64(len(body) + len(respBody))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: post %s: %s: %s", errCluster, url, resp.Status, firstLine(respBody))
+	}
+	if out != nil {
+		if err := json.Unmarshal(respBody, out); err != nil {
+			return fmt.Errorf("%w: post %s: decode response: %v", errCluster, url, err)
+		}
+	}
+	return nil
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"cdrw/internal/graph"
+)
+
+// shareWait bounds how long a shares pull may wait for the local advance of
+// the same round to freeze its payloads — the slack between the driver's
+// parallel advance POSTs landing on different shards.
+const shareWait = 30 * time.Second
+
+// session is one detection's shard-local state. Sessions are almost
+// stateless: each advance request carries the full owned support, so the
+// only state crossing rounds is the round counter and the frozen per-peer
+// payloads the other shards pull.
+//
+// The round protocol is deadlock-free by construction: advance FREEZES this
+// shard's outgoing payloads (under mu, briefly) before it starts pulling
+// from peers, so two shards pulling from each other both find frozen
+// payloads waiting — no advance ever blocks on another advance.
+type session struct {
+	node  *Node
+	id    string
+	g     *graph.Graph
+	store *Store
+	peers []string // rank-ordered advertise URLs
+	self  int
+
+	// advanceMu serialises rounds: the driver's barrier means at most one
+	// advance is ever in flight per session, but the lock keeps a confused
+	// driver from corrupting state.
+	advanceMu sync.Mutex
+
+	mu          sync.Mutex
+	round       int // last completed round
+	frozenRound int
+	frozen      [][]byte // per peer rank, encoded sharesPayload
+	frozenC     chan struct{}
+
+	// scratch, reused across rounds (advanceMu makes them single-writer)
+	share []float64
+	iso   []float64
+	mark  []int32
+}
+
+func newSession(node *Node, id string, g *graph.Graph, store *Store, peers []string, self int) *session {
+	n := g.NumVertices()
+	return &session{
+		node:    node,
+		id:      id,
+		g:       g,
+		store:   store,
+		peers:   peers,
+		self:    self,
+		frozen:  make([][]byte, len(peers)),
+		frozenC: make(chan struct{}),
+		share:   make([]float64, n),
+		iso:     make([]float64, n),
+	}
+}
+
+// advance executes one flood round for this shard: freeze outgoing boundary
+// shares, pull the ghost shares this shard's owned vertices read, then
+// gather next-step mass for every owned vertex in CSR neighbour order —
+// bit-identical to the in-memory kernel's arithmetic.
+func (s *session) advance(ctx context.Context, req advanceRequest) (advanceResponse, error) {
+	s.advanceMu.Lock()
+	defer s.advanceMu.Unlock()
+	if req.Round != s.round+1 {
+		return advanceResponse{}, fmt.Errorf("%w: session %s: advance round %d after round %d", errCluster, s.id, req.Round, s.round)
+	}
+	walks := len(req.Support)
+
+	// Freeze: per peer with a shared link, the shares of our boundary
+	// vertices that carry mass this round. Shares are frozen as
+	// p(v)·(1/d(v)) — the exact product the in-memory kernel computes.
+	payloads, err := s.freeze(req)
+	if err != nil {
+		return advanceResponse{}, err
+	}
+	s.mu.Lock()
+	copy(s.frozen, payloads)
+	s.frozenRound = req.Round
+	close(s.frozenC)
+	s.frozenC = make(chan struct{})
+	s.mu.Unlock()
+
+	// Pull ghost shares from every peer we share a boundary with, in
+	// parallel. The pull count is the measured link load.
+	remote := make([][][]entry, len(s.peers))
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.peers))
+	for j := range s.peers {
+		if !s.store.NeedsPull(j) {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			remote[j], errs[j] = s.node.pullShares(ctx, s.peers[j], s.id, req.Round, s.self, j, walks)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return advanceResponse{}, err
+		}
+	}
+
+	// Gather: next[u] = Σ share(w) over u's CSR neighbour order; isolated
+	// vertices keep their mass.
+	resp := advanceResponse{Round: req.Round, Support: make([][]entry, walks)}
+	for w := 0; w < walks; w++ {
+		s.mark = s.mark[:0]
+		for _, e := range req.Support[w] {
+			if err := s.checkOwned(e.V); err != nil {
+				return advanceResponse{}, err
+			}
+			v := int(e.V)
+			if s.g.Degree(v) == 0 {
+				s.iso[v] = e.S
+			} else {
+				s.share[v] = e.S * s.store.degInv[v]
+			}
+			s.mark = append(s.mark, e.V)
+		}
+		for j := range s.peers {
+			if remote[j] == nil {
+				continue
+			}
+			for _, e := range remote[j][w] {
+				s.share[e.V] = e.S
+				s.mark = append(s.mark, e.V)
+			}
+		}
+		var out []entry
+		for _, u := range s.store.owned {
+			uu := int(u)
+			var sum float64
+			if s.g.Degree(uu) == 0 {
+				sum = s.iso[uu]
+			} else {
+				for _, nb := range s.g.Neighbors(uu) {
+					sum += s.share[nb]
+				}
+			}
+			if sum != 0 {
+				out = append(out, entry{V: u, S: sum})
+			}
+		}
+		resp.Support[w] = out
+		for _, v := range s.mark {
+			s.share[v] = 0
+			s.iso[v] = 0
+		}
+	}
+	s.round = req.Round
+	return resp, nil
+}
+
+// freeze encodes, per peer, the non-zero boundary shares of every walk.
+func (s *session) freeze(req advanceRequest) ([][]byte, error) {
+	n := s.g.NumVertices()
+	walks := len(req.Support)
+	s.mark = s.mark[:0]
+	for _, sup := range req.Support {
+		for _, e := range sup {
+			if e.V < 0 || int(e.V) >= n {
+				return nil, fmt.Errorf("%w: session %s: support vertex %d out of range", errCluster, s.id, e.V)
+			}
+		}
+	}
+	payloads := make([][]byte, len(s.peers))
+	scratch := s.share // reuse the share scratch as a mass buffer pre-gather
+	for j := range s.peers {
+		if j == s.self || len(s.store.Boundary(j)) == 0 {
+			continue
+		}
+		pl := sharesPayload{Round: req.Round, Shares: make([][]entry, walks)}
+		payloads[j] = nil
+		for w := 0; w < walks; w++ {
+			// Mass-mark this walk's support, emit its boundary shares, unmark.
+			for _, e := range req.Support[w] {
+				scratch[e.V] = e.S
+			}
+			var out []entry
+			for _, v := range s.store.Boundary(j) {
+				if mass := scratch[v]; mass != 0 {
+					out = append(out, entry{V: v, S: mass * s.store.degInv[v]})
+				}
+			}
+			for _, e := range req.Support[w] {
+				scratch[e.V] = 0
+			}
+			pl.Shares[w] = out
+		}
+		b, err := json.Marshal(pl)
+		if err != nil {
+			return nil, fmt.Errorf("%w: session %s: encode shares: %v", errCluster, s.id, err)
+		}
+		payloads[j] = b
+	}
+	return payloads, nil
+}
+
+// checkOwned rejects walk state routed to the wrong owner.
+func (s *session) checkOwned(v int32) error {
+	if v < 0 || int(v) >= len(s.store.assign.Home) || s.store.assign.Home[v] != s.store.rank {
+		return fmt.Errorf("%w: session %s: vertex %d not owned by rank %d", errCluster, s.id, v, s.store.rank)
+	}
+	return nil
+}
+
+// shares serves one peer's frozen payload for one round, waiting (bounded)
+// for the local advance of that round to freeze it first.
+func (s *session) shares(ctx context.Context, round, to int) ([]byte, error) {
+	if to < 0 || to >= len(s.peers) {
+		return nil, fmt.Errorf("%w: session %s: peer rank %d out of range", errCluster, s.id, to)
+	}
+	deadline := time.NewTimer(shareWait)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		if s.frozenRound == round {
+			b := s.frozen[to]
+			s.mu.Unlock()
+			if b == nil {
+				return nil, fmt.Errorf("%w: session %s: no boundary toward rank %d", errCluster, s.id, to)
+			}
+			return b, nil
+		}
+		if s.frozenRound > round {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: session %s: round %d already superseded by %d", errCluster, s.id, round, s.frozenRound)
+		}
+		c := s.frozenC
+		s.mu.Unlock()
+		select {
+		case <-c:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: session %s: waiting for round %d shares: %v", errCluster, s.id, round, ctx.Err())
+		case <-deadline.C:
+			return nil, fmt.Errorf("%w: session %s: round %d shares never froze within %v", errCluster, s.id, round, shareWait)
+		}
+	}
+}

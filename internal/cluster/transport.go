@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cdrw/internal/congest"
+	"cdrw/internal/kmachine"
+)
+
+// hashAssign wraps the deterministic placement with the cluster error class.
+func hashAssign(n, k int, seed uint64) (kmachine.Assignment, error) {
+	assign, err := kmachine.HashPartition(n, k, seed)
+	if err != nil {
+		return kmachine.Assignment{}, fmt.Errorf("%w: %v", errCluster, err)
+	}
+	return assign, nil
+}
+
+// roundTransport is the driver side of the round protocol: it implements
+// congest.FloodTransport, so the CONGEST engine on the shard that received
+// the client request runs the unmodified Algorithm 1 — BFS tree, mixing-set
+// ladder, stop rule, all simulated accounting — while every flood round's
+// numeric work is routed to the vertex owners. Per round it splits each
+// walk's support by owner, POSTs one advance per shard in parallel (the
+// driver's own shard short-circuits in process), and merges the owned
+// next-step supports back into the frames.
+type roundTransport struct {
+	node   *Node
+	sid    string
+	assign kmachine.Assignment
+	peers  []string
+	self   int
+	round  int
+	local  *session
+}
+
+func (t *roundTransport) Flood(ctx context.Context, frames []congest.FloodFrame) error {
+	t.round++
+	walks := len(frames)
+	reqs := make([]advanceRequest, len(t.peers))
+	for m := range reqs {
+		reqs[m] = advanceRequest{Round: t.round, Support: make([][]entry, walks)}
+	}
+	for w, f := range frames {
+		for v, mass := range f.P {
+			if mass == 0 {
+				continue
+			}
+			m := t.assign.Home[v]
+			reqs[m].Support[w] = append(reqs[m].Support[w], entry{V: int32(v), S: mass})
+		}
+	}
+
+	resps := make([]advanceResponse, len(t.peers))
+	errs := make([]error, len(t.peers))
+	var wg sync.WaitGroup
+	for m := range t.peers {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			if m == t.self {
+				resps[m], errs[m] = t.local.advance(ctx, reqs[m])
+				return
+			}
+			var coord int64
+			errs[m] = t.node.postJSON(ctx, t.peers[m]+"/cluster/sessions/"+t.sid+"/advance", reqs[m], &resps[m], &coord)
+			t.node.metrics.addCoord(coord)
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge: zero-fill then apply the sparse owned supports. Absent entries
+	// are exact zeros on the shards too, so the merged Next is bit-identical
+	// to a local kernel pass.
+	for _, f := range frames {
+		for i := range f.Next {
+			f.Next[i] = 0
+		}
+	}
+	for m, resp := range resps {
+		if resp.Round != t.round || len(resp.Support) != walks {
+			return fmt.Errorf("%w: shard %d answered round %d/%d walks, want %d/%d", errCluster, m, resp.Round, len(resp.Support), t.round, walks)
+		}
+		for w, sup := range resp.Support {
+			next := frames[w].Next
+			for _, e := range sup {
+				next[e.V] = e.S
+			}
+		}
+	}
+	t.node.metrics.addRounds(1)
+	return nil
+}

@@ -1,0 +1,62 @@
+package cluster
+
+// The shard-to-shard protocol is plain JSON over HTTP. Probability values
+// travel as JSON numbers: Go marshals a float64 as the shortest decimal that
+// round-trips to the same bits, so the share exchange is numerically exact
+// and the bit-identity contract of congest.FloodTransport survives the wire.
+
+// entry is one sparse (vertex, value) pair — a walk-state support entry on
+// the driver↔shard path, a frozen share on the shard↔shard path.
+type entry struct {
+	V int32   `json:"v"`
+	S float64 `json:"s"`
+}
+
+// joinRequest is one gossip step of the coordinator-free membership
+// protocol: the sender introduces itself and everything it knows.
+type joinRequest struct {
+	Advertise string   `json:"advertise"`
+	Members   []string `json:"members"`
+}
+
+// joinResponse returns the receiver's merged view.
+type joinResponse struct {
+	Members []string `json:"members"`
+	Size    int      `json:"size"`
+}
+
+// sessionRequest creates one detection session on a shard. Vertices/Edges
+// pin that every shard holds the same replicated graph; Members pins that
+// every shard numbers ranks identically before any walk state moves.
+type sessionRequest struct {
+	Session       string   `json:"session"`
+	Graph         string   `json:"graph"`
+	Members       []string `json:"members"`
+	Vertices      int      `json:"vertices"`
+	Edges         int      `json:"edges"`
+	PlacementSeed uint64   `json:"placement_seed"`
+}
+
+// advanceRequest drives one flood round on a shard: Support[w] is the sparse
+// current distribution of walk w restricted to the shard's owned vertices.
+// Rounds are numbered from 1 and must arrive in order.
+type advanceRequest struct {
+	Round   int       `json:"round"`
+	Support [][]entry `json:"support"`
+}
+
+// advanceResponse returns the next-step distribution of the shard's owned
+// vertices, sparse, one slice per walk of the request.
+type advanceResponse struct {
+	Round   int       `json:"round"`
+	Support [][]entry `json:"support"`
+}
+
+// sharesPayload is what one shard freezes for one peer for one round: per
+// walk, the shares p(v)·(1/d(v)) of its boundary vertices toward that peer
+// whose mass is non-zero. The puller counts its size as the measured wire
+// load of that machine link for the round.
+type sharesPayload struct {
+	Round  int       `json:"round"`
+	Shares [][]entry `json:"shares"`
+}

@@ -240,6 +240,26 @@ func batchFlood(nw *Network, walks []*batchWalk, degInv []float64, counts []int3
 		}
 		nw.phaseLoads[0] = loads
 	}
+	if nw.transport != nil {
+		// Pluggable round transport: the lane/observer accounting above
+		// already happened; hand the live walks' numeric evolution over as
+		// one batch of frames (lane order), which is the coalesced per-round
+		// payload a real network ships.
+		frames := nw.frameBuf[:0]
+		for _, w := range walks {
+			if w.active {
+				frames = append(frames, FloodFrame{P: w.p, Next: w.next})
+			}
+		}
+		nw.frameBuf = frames
+		nw.floodRemote(frames)
+		for _, w := range walks {
+			if w.active {
+				w.p, w.next = w.next, w.p
+			}
+		}
+		return
+	}
 	n := g.NumVertices()
 	k := len(walks)
 	shareAll := nw.floodShareAll(n * k)

@@ -254,6 +254,20 @@ const floodTile = 1 << 15
 func (nw *Network) floodStep(p, next rw.Dist, degInv []float64) {
 	g := nw.Graph()
 	round := nw.beginRound()
+	if nw.transport != nil {
+		// Pluggable round transport: account the round's sends exactly as
+		// below (the simulated cost is the same wherever the floats move),
+		// then delegate the numeric evolution.
+		for v, mass := range p {
+			if mass != 0 && g.Degree(v) > 0 {
+				nw.sendAllNeighbors(v)
+			}
+		}
+		nw.frameBuf = append(nw.frameBuf[:0], FloodFrame{P: p, Next: next})
+		nw.floodRemote(nw.frameBuf)
+		nw.endRound(round)
+		return
+	}
 	share := nw.floodShare(len(p))
 	for v, mass := range p {
 		share[v] = mass * degInv[v]

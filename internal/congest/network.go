@@ -104,6 +104,14 @@ type Network struct {
 	ctx    context.Context
 	ctxErr error
 
+	// transport, when non-nil, executes the numeric part of every flood
+	// round (SetFloodTransport); transportErr is the run's first transport
+	// failure, sticky until the next run, and frameBuf the reused frame
+	// slice handed to the transport.
+	transport    FloodTransport
+	transportErr error
+	frameBuf     []FloodFrame
+
 	// Selection fast-path state (selectKSmallestIndexed), built lazily and
 	// retained across runs. When shared is non-nil the degree index and the
 	// inverse-degree table come from it instead of being built per network.
@@ -164,19 +172,28 @@ func (nw *Network) LoadObserver() LoadObserver { return nw.loadObs }
 func (nw *Network) observing() bool { return nw.observer != nil || nw.loadObs != nil }
 
 // setContext installs the run context for the duration of one context-aware
-// entry point. Passing nil clears it.
+// entry point. Passing nil clears it. Either direction starts the run (or
+// the network's idle state) clean of the previous run's sticky transport
+// error.
 func (nw *Network) setContext(ctx context.Context) {
 	if ctx == context.Background() {
 		ctx = nil // nothing to poll; keep the scheduler check free
 	}
 	nw.ctx = ctx
 	nw.ctxErr = nil
+	nw.transportErr = nil
 }
 
 // interrupted reports the run context's error, caching the first one seen.
 // The round scheduler and the per-size selection loops poll it so that
 // cancellation lands within O(1) rounds rather than at the next walk step.
+// A sticky transport failure (floodRemote) surfaces here too, so a broken
+// cluster link unwinds a detection exactly like a cancelled context —
+// always an error, never wrong numbers.
 func (nw *Network) interrupted() error {
+	if nw.transportErr != nil {
+		return nw.transportErr
+	}
 	if nw.ctxErr != nil {
 		return nw.ctxErr
 	}

@@ -48,6 +48,10 @@ type config struct {
 	congest      *congest.Config // WithCongest escape hatch, used verbatim
 	detObs       func(Detection) // WithDetectionObserver streaming callback
 	shared       *rw.SharedIndex // WithSharedIndex injection (nil = private)
+
+	// transport is WithCongestTransport's pluggable flood-round transport,
+	// installed on the CONGEST network (nil = in-memory kernels).
+	transport congest.FloodTransport
 }
 
 // Option customises a CDRW run.

@@ -149,6 +149,9 @@ func (d *Detector) walkEngine() *rw.WalkEngine {
 func (d *Detector) network() *congest.Network {
 	if d.nw == nil {
 		d.nw = congest.NewNetworkWithIndex(d.g, d.congestConfig().Workers, d.sharedIndex())
+		if d.cfg.transport != nil {
+			d.nw.SetFloodTransport(d.cfg.transport)
+		}
 	}
 	return d.nw
 }

@@ -139,6 +139,20 @@ func WithSharedIndex(ix *rw.SharedIndex) Option {
 	return func(c *config) { c.shared = ix }
 }
 
+// WithCongestTransport installs a pluggable flood-round transport on the
+// CONGEST engine's network (congest.Network.SetFloodTransport): every
+// probability-flooding round keeps its simulated accounting but delegates
+// the numeric distribution evolution to t — which is how the cluster layer
+// (internal/cluster) executes the same detection over real sockets, routing
+// walk state to vertex owners each round. The transport contract requires
+// bit-identical evolution (see congest.FloodTransport), so like
+// WithSharedIndex this option never changes results and deliberately does
+// not appear in Settings or the run fingerprint. Ignored by the in-memory
+// engines; passing nil restores the in-memory kernels.
+func WithCongestTransport(t congest.FloodTransport) Option {
+	return func(c *config) { c.transport = t }
+}
+
 // SynchronizedObserver wraps a step observer in a mutex so it can be passed
 // to WithStepObserver under DetectParallel (which invokes the observer from
 // one goroutine per live walk) without hand-rolling locking in the callback.

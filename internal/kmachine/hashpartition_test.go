@@ -1,0 +1,108 @@
+package kmachine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHashPartitionDeterministic pins the coordination-free contract: two
+// independent computations of the same (n, k, seed) triple agree vertex for
+// vertex, and changing the seed actually moves vertices.
+func TestHashPartitionDeterministic(t *testing.T) {
+	a, err := HashPartition(5000, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashPartition(5000, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 7 || len(a.Home) != 5000 {
+		t.Fatalf("assignment shape: K=%d len=%d", a.K, len(a.Home))
+	}
+	for v := range a.Home {
+		if a.Home[v] != b.Home[v] {
+			t.Fatalf("vertex %d: %d vs %d across identical calls", v, a.Home[v], b.Home[v])
+		}
+		if a.Home[v] < 0 || a.Home[v] >= a.K {
+			t.Fatalf("vertex %d: home %d out of [0,%d)", v, a.Home[v], a.K)
+		}
+	}
+	c, err := HashPartition(5000, 7, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for v := range a.Home {
+		if a.Home[v] != c.Home[v] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed change moved no vertices")
+	}
+}
+
+// TestHashPartitionPrefixStable checks that placement of a vertex depends
+// only on (v, k, seed), not on n: growing the graph never reshuffles the
+// existing vertices, which is what keeps ownership stable across shards
+// that learn the vertex count at different times.
+func TestHashPartitionPrefixStable(t *testing.T) {
+	small, err := HashPartition(1000, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := HashPartition(4000, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range small.Home {
+		if small.Home[v] != big.Home[v] {
+			t.Fatalf("vertex %d moved (%d -> %d) when n grew", v, small.Home[v], big.Home[v])
+		}
+	}
+}
+
+// TestHashPartitionBalance property-tests the balance bound across sizes,
+// machine counts and seeds: every machine's share stays within 6 standard
+// deviations of the binomial mean n/k (a bound a uniform hash violates with
+// negligible probability; a biased mixer trips it immediately).
+func TestHashPartitionBalance(t *testing.T) {
+	for _, n := range []int{1000, 10_000, 50_000} {
+		for _, k := range []int{2, 3, 8, 16} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				a, err := HashPartition(n, k, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mean := float64(n) / float64(k)
+				sd := math.Sqrt(float64(n) * (1 / float64(k)) * (1 - 1/float64(k)))
+				lo, hi := mean-6*sd, mean+6*sd
+				total := 0
+				for m, size := range a.MachineSizes() {
+					total += size
+					if float64(size) < lo || float64(size) > hi {
+						t.Errorf("n=%d k=%d seed=%d machine %d holds %d vertices, want within [%.0f, %.0f]",
+							n, k, seed, m, size, lo, hi)
+					}
+				}
+				if total != n {
+					t.Fatalf("n=%d k=%d seed=%d: sizes sum to %d", n, k, seed, total)
+				}
+			}
+		}
+	}
+}
+
+// TestHashPartitionErrors pins the argument validation.
+func TestHashPartitionErrors(t *testing.T) {
+	if _, err := HashPartition(10, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := HashPartition(-1, 3, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if a, err := HashPartition(0, 3, 1); err != nil || len(a.Home) != 0 {
+		t.Fatalf("n=0: %v %v", a, err)
+	}
+}

@@ -125,13 +125,15 @@ type errorJSON struct {
 
 // server mounts the registry behind the HTTP surface.
 type server struct {
-	reg *Registry
-	m   *metrics.ServeMetrics
+	reg     *Registry
+	m       *metrics.ServeMetrics
+	cluster ClusterBackend // nil in single-process mode
 }
 
 // NewHandler returns the cdrwd HTTP surface over reg:
 //
 //	GET    /healthz                  liveness
+//	GET    /readyz                   readiness (503 until serveable)
 //	GET    /metrics                  serving counters (Prometheus text)
 //	GET    /graphs                   list registered graphs
 //	PUT    /graphs/{name}            register a graph from an edge-list body
@@ -145,9 +147,23 @@ type server struct {
 // m may be nil; pass the same ServeMetrics the registry counts into so
 // /metrics reports one coherent story.
 func NewHandler(reg *Registry, m *metrics.ServeMetrics) http.Handler {
-	s := &server{reg: reg, m: m}
+	return newHandler(reg, m, nil)
+}
+
+// NewClusterHandler is NewHandler with a cluster backend attached: detect and
+// community requests are offered to the cluster first (falling back to the
+// local pools when the backend declines), the shard-to-shard protocol is
+// mounted under /cluster/, readiness additionally requires settled
+// membership, and /metrics appends the cluster wire counters.
+func NewClusterHandler(reg *Registry, m *metrics.ServeMetrics, cb ClusterBackend) http.Handler {
+	return newHandler(reg, m, cb)
+}
+
+func newHandler(reg *Registry, m *metrics.ServeMetrics, cb ClusterBackend) http.Handler {
+	s := &server{reg: reg, m: m, cluster: cb}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("PUT /graphs/{name}", s.handleUpload)
@@ -157,6 +173,9 @@ func NewHandler(reg *Registry, m *metrics.ServeMetrics) http.Handler {
 	mux.HandleFunc("POST /graphs/{name}/detect", s.handleDetect)
 	mux.HandleFunc("POST /graphs/{name}/community", s.handleCommunity)
 	mux.HandleFunc("POST /graphs/{name}/stream", s.handleStream)
+	if cb != nil {
+		mux.Handle("/cluster/", cb.Handler())
+	}
 	return s.instrument(mux)
 }
 
@@ -192,6 +211,10 @@ func errStatus(err error) int {
 		return 499
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound
+	case errors.Is(err, ErrClusterNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrCluster):
+		return http.StatusBadGateway
 	default:
 		return http.StatusBadRequest
 	}
@@ -202,16 +225,55 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// handleHealthz is the liveness probe: the process is up and the mux is
+// routing, nothing more. Restart on failure; see /readyz for serveability.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// readyzResponse is the readiness probe's body; Reason is only present on
+// 503 and Cluster only in cluster mode.
+type readyzResponse struct {
+	Status  string         `json:"status"`
+	Reason  string         `json:"reason,omitempty"`
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 once the shard can usefully
+// answer detection traffic — at least one graph registered and, in cluster
+// mode, membership settled — 503 with a reason until then. Not-ready is the
+// probe doing its job, not a serving error, so it bypasses writeError and
+// the error counter.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{Status: "ready"}
+	status := http.StatusOK
+	if s.cluster != nil {
+		cs := s.cluster.Status()
+		resp.Cluster = &cs
+		if !s.cluster.Ready() {
+			status = http.StatusServiceUnavailable
+			resp.Status = "not ready"
+			resp.Reason = fmt.Sprintf("cluster membership unsettled (%d of %d members)", len(cs.Members), cs.Size)
+		}
+	}
+	if status == http.StatusOK && len(s.reg.Names()) == 0 {
+		status = http.StatusServiceUnavailable
+		resp.Status = "not ready"
+		resp.Reason = "no graphs registered"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if s.m == nil {
-		return
+	if s.m != nil {
+		_ = s.m.WritePrometheus(w)
 	}
-	_ = s.m.WritePrometheus(w)
+	if s.cluster != nil {
+		_ = s.cluster.WriteMetrics(w)
+	}
 }
 
 // graphInfoJSON is one registered graph in the listing.
@@ -400,7 +462,18 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, settings, cached, err := s.reg.Detect(r.Context(), name, opts...)
+	var (
+		res      *core.Result
+		settings core.Settings
+		cached   bool
+	)
+	handled := false
+	if s.cluster != nil {
+		res, settings, handled, err = s.cluster.Detect(r.Context(), name, opts...)
+	}
+	if !handled {
+		res, settings, cached, err = s.reg.Detect(r.Context(), name, opts...)
+	}
 	if err != nil {
 		s.writeError(w, errStatus(err), err)
 		return
@@ -443,7 +516,18 @@ func (s *server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	community, stats, cached, err := s.reg.DetectCommunity(r.Context(), name, req.Seed, opts...)
+	var (
+		community []int
+		stats     core.CommunityStats
+		cached    bool
+	)
+	handled := false
+	if s.cluster != nil {
+		community, stats, _, handled, err = s.cluster.DetectCommunity(r.Context(), name, req.Seed, opts...)
+	}
+	if !handled {
+		community, stats, cached, err = s.reg.DetectCommunity(r.Context(), name, req.Seed, opts...)
+	}
 	if err != nil {
 		s.writeError(w, errStatus(err), err)
 		return

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPatchEdgesMalformedNDJSON pins the all-or-nothing contract of
+// PATCH /graphs/{name}/edges against malformed bodies: a truncated final
+// line, an unknown op and a duplicate edge within one batch must each fail
+// with 400 and leave the graph — edge count AND generation — untouched.
+func TestPatchEdgesMalformedNDJSON(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// An edgeless graph so every "add" below is definitely applicable: the
+	// rejections must come from the malformed bodies alone.
+	do(t, http.MethodPost, srv.URL+"/graphs/g/generate",
+		strings.NewReader(`{"model":"gnp","n":64,"p":0}`), http.StatusCreated, nil)
+
+	var before struct {
+		Graphs []graphInfoJSON `json:"graphs"`
+	}
+	do(t, http.MethodGet, srv.URL+"/graphs", nil, http.StatusOK, &before)
+	edges := before.Graphs[0].Edges
+
+	cases := []struct {
+		name    string
+		body    string
+		wantErr string
+	}{
+		{
+			// The second line is cut mid-object, as a killed writer leaves it.
+			name:    "truncated final line",
+			body:    "{\"op\":\"add\",\"u\":0,\"v\":63}\n{\"op\":\"add\",\"u\":1",
+			wantErr: "delta line 2",
+		},
+		{
+			name:    "unknown op",
+			body:    "{\"op\":\"add\",\"u\":0,\"v\":63}\n{\"op\":\"upsert\",\"u\":1,\"v\":62}\n",
+			wantErr: "unknown op \"upsert\"",
+		},
+		{
+			// Same undirected edge twice in one batch (order flipped): the
+			// delta layer rejects it rather than guessing an intent.
+			name:    "duplicate edge in one batch",
+			body:    "{\"op\":\"add\",\"u\":0,\"v\":63}\n{\"op\":\"add\",\"u\":63,\"v\":0}\n",
+			wantErr: "duplicate",
+		},
+		{
+			name:    "unknown field",
+			body:    "{\"op\":\"add\",\"u\":0,\"v\":63,\"w\":1.5}\n",
+			wantErr: "delta line 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errResp errorJSON
+			do(t, http.MethodPatch, srv.URL+"/graphs/g/edges", strings.NewReader(tc.body), http.StatusBadRequest, &errResp)
+			if !strings.Contains(errResp.Error, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", errResp.Error, tc.wantErr)
+			}
+			// All-or-nothing: the valid first line must not have been applied.
+			var after struct {
+				Graphs []graphInfoJSON `json:"graphs"`
+			}
+			do(t, http.MethodGet, srv.URL+"/graphs", nil, http.StatusOK, &after)
+			if after.Graphs[0].Edges != edges {
+				t.Fatalf("failed delta mutated the graph: %d edges, want %d", after.Graphs[0].Edges, edges)
+			}
+		})
+	}
+
+	// The generation counter never moved: the first delta to succeed lands
+	// generation 1, exactly as if the malformed batches had never arrived.
+	var ok deltaResponse
+	do(t, http.MethodPatch, srv.URL+"/graphs/g/edges",
+		strings.NewReader("{\"op\":\"add\",\"u\":0,\"v\":63}\n"), http.StatusOK, &ok)
+	if ok.Generation != 1 || ok.Added != 1 {
+		t.Fatalf("post-failure delta: %+v, want generation 1 with 1 add", ok)
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestReadyzFlip pins the liveness/readiness split in single-process mode:
+// /healthz is always 200 (the process is up), /readyz is 503 while the
+// registry is empty and flips to 200 the moment a graph is registered —
+// and back to 503 when the last graph is dropped.
+func TestReadyzFlip(t *testing.T) {
+	srv, m := newTestServer(t)
+
+	var health map[string]string
+	do(t, http.MethodGet, srv.URL+"/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	var ready readyzResponse
+	do(t, http.MethodGet, srv.URL+"/readyz", nil, http.StatusServiceUnavailable, &ready)
+	if ready.Status != "not ready" || !strings.Contains(ready.Reason, "no graphs") {
+		t.Fatalf("empty readyz: %+v", ready)
+	}
+
+	do(t, http.MethodPost, srv.URL+"/graphs/g/generate",
+		strings.NewReader(`{"n":64,"r":2,"p":0.2,"q":0.01}`), http.StatusCreated, nil)
+	ready = readyzResponse{}
+	do(t, http.MethodGet, srv.URL+"/readyz", nil, http.StatusOK, &ready)
+	if ready.Status != "ready" || ready.Reason != "" || ready.Cluster != nil {
+		t.Fatalf("ready readyz: %+v", ready)
+	}
+
+	do(t, http.MethodDelete, srv.URL+"/graphs/g", nil, http.StatusOK, nil)
+	do(t, http.MethodGet, srv.URL+"/readyz", nil, http.StatusServiceUnavailable, nil)
+
+	// Readiness probes are not serving errors: the error counter must not
+	// have moved for any of the 503s above.
+	if errs := m.Snapshot().Errors; errs != 0 {
+		t.Fatalf("readyz polluted the error counter: %d", errs)
+	}
+}

@@ -236,6 +236,26 @@ func (r *Registry) Pool(name string, opts ...core.Option) (*DetectorPool, int, c
 	return p, e.gen, settings, nil
 }
 
+// Resolve looks up the named graph and resolves the request options over its
+// base options without creating (or warming) a pool — the cluster layer uses
+// it to validate and fingerprint a request before distributing the run, where
+// a local pool would never execute it. The returned options slice is the
+// merged base+request set and is owned by the caller.
+func (r *Registry) Resolve(name string, opts ...core.Option) (*graph.Graph, []core.Option, core.Settings, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, nil, core.Settings{}, fmt.Errorf("%w %q", ErrUnknownGraph, name)
+	}
+	merged := append(append([]core.Option(nil), e.opts...), opts...)
+	settings, err := core.Resolve(e.g.NumVertices(), merged...)
+	if err != nil {
+		return nil, nil, core.Settings{}, err
+	}
+	return e.g, merged, settings, nil
+}
+
 func cachePrefix(name string) string {
 	// Length-prefix the name so no graph name can forge another's keys.
 	return fmt.Sprintf("%d:%s#", len(name), name)
