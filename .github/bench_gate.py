@@ -39,7 +39,12 @@ custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
     vertex per link, vs one simulated message per edge) keeps the true
     ratio at or below 1.0; 2.0 is the hard ceiling. CI appends the
     cluster benchmark to head.bench before gating; a missing metric
-    fails the gate.
+    fails the gate, or
+  * BenchmarkClusterRound reports a bytes/word median above 12.0 — the
+    binary share codec's framing budget: total link bytes over total
+    share words. The varint-delta + raw-float64 encoding costs ~9-10
+    bytes per share word (JSON paid ~30); 12.0 is the ceiling that
+    catches a silent fallback to the JSON path or framing bloat.
 
 Pass "-" as the base file to skip the regression comparison and run only
 the absolute gates. Benchmarks that exist only on one side are reported
@@ -96,6 +101,11 @@ PAIR_GATES = (
 WIRE_RATIO_BENCH = "BenchmarkClusterRound"
 WIRE_RATIO_MAX = 2.0
 
+# Absolute ceiling on the binary share codec's framing cost: total link
+# bytes per share word in the same benchmark. Also head-only.
+BYTES_WORD_UNIT = "bytes/word"
+BYTES_WORD_MAX = 12.0
+
 
 def load(path):
     metrics = collections.defaultdict(list)
@@ -110,7 +120,8 @@ def load(path):
             name = parts[0].rsplit("-", 1)[0]
             for value, unit in zip(parts[1:], parts[2:]):
                 if (unit in NS_UNITS or unit == ALLOC_UNIT
-                        or unit == BYTES_UNIT or unit == WIRE_RATIO_UNIT):
+                        or unit == BYTES_UNIT or unit == WIRE_RATIO_UNIT
+                        or unit == BYTES_WORD_UNIT):
                     try:
                         metrics[(name, unit)].append(float(value))
                     except ValueError:
@@ -190,6 +201,19 @@ def main():
             failed.append(WIRE_RATIO_BENCH)
     else:
         print("ClusterRound wire-ratio missing from head REGRESSION")
+        failed.append(WIRE_RATIO_BENCH)
+
+    # Absolute gate: the binary share codec's framing cost per share word.
+    bw_key = (WIRE_RATIO_BENCH, BYTES_WORD_UNIT)
+    if bw_key in head:
+        bw = median(head[bw_key])
+        status = "ok" if bw <= BYTES_WORD_MAX else "REGRESSION"
+        print(f"{WIRE_RATIO_BENCH} [{BYTES_WORD_UNIT}]: {bw:,.2f} "
+              f"(want <= {BYTES_WORD_MAX:g}) {status}")
+        if bw > BYTES_WORD_MAX:
+            failed.append(WIRE_RATIO_BENCH)
+    else:
+        print("ClusterRound bytes/word missing from head REGRESSION")
         failed.append(WIRE_RATIO_BENCH)
 
     # Relative gate: ns-valued regressions against the base ref.

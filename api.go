@@ -470,6 +470,19 @@ type (
 	ClusterNode = cluster.Node
 	// ClusterStatus reports a shard's membership view (served on /readyz).
 	ClusterStatus = serve.ClusterStatus
+	// ClusterPeerError is the typed failure a cluster detection returns
+	// when a peer shard dies or goes silent mid-run: it names the peer and
+	// wraps both the underlying cause and ErrCluster (the 502-mapped
+	// class), so errors.As/Is both work on it.
+	ClusterPeerError = cluster.PeerError
+)
+
+// Cluster error classes, for errors.Is on detection failures: ErrCluster is
+// any cluster-protocol failure (HTTP 502 at the daemon surface),
+// ErrClusterNotReady the refusal while membership is unsettled (503).
+var (
+	ErrCluster         = serve.ErrCluster
+	ErrClusterNotReady = serve.ErrClusterNotReady
 )
 
 // NewClusterNode attaches a cluster shard to reg. Call Start to begin

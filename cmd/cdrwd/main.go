@@ -67,14 +67,18 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL peers reach this shard at (required with -cluster-size)")
 	join := flag.String("join", "", "comma-separated base URLs of known peers to gossip membership with")
 	placementSeed := flag.Uint64("placement-seed", 1, "seed of the deterministic hash vertex placement (must match on every shard)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "deadline for each cluster peer RPC; a peer silent past it fails the detection (502)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval; 3 consecutive misses evict the peer and flip /readyz")
 	flag.Parse()
 
 	var cfg *cluster.Config
 	if *clusterSize > 0 {
 		cfg = &cluster.Config{
-			Size:          *clusterSize,
-			Advertise:     strings.TrimRight(*advertise, "/"),
-			PlacementSeed: *placementSeed,
+			Size:              *clusterSize,
+			Advertise:         strings.TrimRight(*advertise, "/"),
+			PlacementSeed:     *placementSeed,
+			PeerTimeout:       *peerTimeout,
+			HeartbeatInterval: *heartbeat,
 		}
 		for _, peer := range strings.Split(*join, ",") {
 			if peer = strings.TrimRight(strings.TrimSpace(peer), "/"); peer != "" {

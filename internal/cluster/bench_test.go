@@ -50,17 +50,22 @@ func BenchmarkClusterRound(b *testing.B) {
 	}
 	b.StopTimer()
 
-	var totalBytes, maxWords int64
+	var totalBytes, totalWords, maxWords int64
 	for _, node := range tc.nodes {
 		totalBytes += node.Metrics().TotalLinkBytes()
+		totalWords += node.Metrics().TotalLinkWords()
 		if w := node.Metrics().MaxLinkWords(); w > maxWords {
 			maxWords = w
 		}
 	}
 	rounds := driver.Metrics().Rounds()
-	if rounds == 0 || maxWords == 0 {
+	if rounds == 0 || maxWords == 0 || totalWords == 0 {
 		b.Fatal("no wire traffic measured")
 	}
 	b.ReportMetric(float64(totalBytes)/float64(rounds), "bytes/round")
+	// bytes/word is the codec's framing cost per share word; the binary
+	// codec holds it near 9–10 (varint delta + 8 float bytes) where JSON
+	// paid ~30. bench_gate fails the run if the median exceeds 12.
+	b.ReportMetric(float64(totalBytes)/float64(totalWords), "bytes/word")
 	b.ReportMetric(float64(maxWords)/float64(predicted.MaxLinkLoad), "wire-ratio")
 }

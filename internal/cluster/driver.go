@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -16,45 +17,67 @@ import (
 // resolved settings, so responses are byte-comparable across deployment
 // modes. Non-CONGEST engines return handled=false and fall back to the
 // local pools (in-memory engines have no distributed realisation to route).
+//
+// Failure is bounded and typed: every peer RPC carries a deadline, a
+// heartbeat goroutine per remote shard cancels the run the moment a peer
+// misses heartbeatMisses beats, and a dead peer surfaces as a *PeerError
+// (502 at the HTTP layer) within the peer deadline instead of wedging the
+// round protocol.
 func (n *Node) Detect(ctx context.Context, name string, opts ...core.Option) (*core.Result, core.Settings, bool, error) {
-	det, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
+	det, dctx, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
 	if !handled || err != nil {
 		return nil, settings, handled, err
 	}
 	defer cleanup()
-	res, err := det.Detect(ctx)
-	return res, settings, true, err
+	res, err := det.Detect(dctx)
+	return res, settings, true, driverErr(dctx, err)
 }
 
 // DetectCommunity is Detect for one seed.
 func (n *Node) DetectCommunity(ctx context.Context, name string, seed int, opts ...core.Option) ([]int, core.CommunityStats, core.Settings, bool, error) {
-	det, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
+	det, dctx, settings, cleanup, handled, err := n.newDriver(ctx, name, opts)
 	if !handled || err != nil {
 		return nil, core.CommunityStats{}, settings, handled, err
 	}
 	defer cleanup()
-	community, stats, err := det.DetectCommunity(ctx, seed)
-	return community, stats, settings, true, err
+	community, stats, err := det.DetectCommunity(dctx, seed)
+	return community, stats, settings, true, driverErr(dctx, err)
+}
+
+// driverErr substitutes the cancellation cause for the engine's bare
+// context error when the heartbeat loop aborted the run: the caller should
+// see the typed peer failure, not "context canceled".
+func driverErr(dctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(dctx); cause != nil &&
+		!errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+		return cause
+	}
+	return err
 }
 
 // newDriver resolves the request, establishes a session on every shard and
-// returns a Detector whose flood rounds run over the cluster. handled=false
-// (with no error) means the request is not cluster-executable.
-func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (*core.Detector, core.Settings, func(), bool, error) {
+// returns a Detector whose flood rounds run over the cluster, plus the
+// context the detection must run under (cancelled with a *PeerError cause
+// when a peer dies mid-run). handled=false (with no error) means the
+// request is not cluster-executable.
+func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (*core.Detector, context.Context, core.Settings, func(), bool, error) {
 	g, merged, settings, err := n.reg.Resolve(name, opts...)
 	if err != nil {
-		return nil, core.Settings{}, nil, true, err
+		return nil, nil, core.Settings{}, nil, true, err
 	}
 	if settings.Engine != core.EngineCongest {
-		return nil, core.Settings{}, nil, false, nil
+		return nil, nil, core.Settings{}, nil, false, nil
 	}
 	ranks, self, err := n.roster()
 	if err != nil {
-		return nil, settings, nil, true, err
+		return nil, nil, settings, nil, true, err
 	}
 	assign, err := hashAssign(g.NumVertices(), len(ranks), n.cfg.PlacementSeed)
 	if err != nil {
-		return nil, settings, nil, true, err
+		return nil, nil, settings, nil, true, err
 	}
 
 	sid := fmt.Sprintf("r%d-%d", self, n.seq.Add(1))
@@ -66,14 +89,23 @@ func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (
 		Edges:         g.NumEdges(),
 		PlacementSeed: n.cfg.PlacementSeed,
 	}
+	dctx, dcancel := context.WithCancelCause(ctx)
+	stopHB := make(chan struct{})
 	created := make([]int, 0, len(ranks))
+	// cleanup is deferred by the callers for the whole detection — success,
+	// engine error or heartbeat abort alike — so no error path leaves
+	// session state (parked shares waiters, frozen buffers) on any shard.
+	// The per-shard reaper is only the backstop for a driver that dies
+	// before this runs.
 	cleanup := func() {
+		close(stopHB)
+		dcancel(context.Canceled)
 		for _, m := range created {
 			if m == self {
 				n.dropSession(sid)
 				continue
 			}
-			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			cctx, cancel := context.WithTimeout(context.Background(), n.peerTimeout)
 			_ = n.deleteSession(cctx, ranks[m], sid)
 			cancel()
 		}
@@ -82,31 +114,97 @@ func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (
 		if m == self {
 			if err := n.createSession(sreq); err != nil {
 				cleanup()
-				return nil, settings, nil, true, err
+				return nil, nil, settings, nil, true, err
 			}
 		} else {
 			var coord int64
-			if err := n.postJSON(ctx, peer+"/cluster/sessions", sreq, nil, &coord); err != nil {
-				cleanup()
-				return nil, settings, nil, true, err
-			}
+			cctx, ccancel := context.WithTimeout(ctx, n.peerTimeout)
+			err := n.postJSON(cctx, peer+"/cluster/sessions", sreq, nil, &coord)
+			ccancel()
 			n.metrics.addCoord(coord)
+			if err != nil {
+				cleanup()
+				return nil, nil, settings, nil, true, &PeerError{Peer: peer, Err: err}
+			}
 		}
 		created = append(created, m)
 	}
 	local, err := n.session(sid)
 	if err != nil {
 		cleanup()
-		return nil, settings, nil, true, err
+		return nil, nil, settings, nil, true, err
 	}
+
+	// Per-peer session heartbeats: each remote shard must answer a beat
+	// every heartbeat interval; heartbeatMisses consecutive failures evict
+	// the peer and abort the detection with the typed cause. A live peer
+	// that answers non-200 (it lost the session state) aborts immediately.
+	for m, peer := range ranks {
+		if m == self {
+			continue
+		}
+		go n.sessionHeartbeat(dctx, stopHB, peer, sid, dcancel)
+	}
+	go func() { // the driver's own shard is heartbeated in-process
+		ticker := time.NewTicker(n.hbInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-dctx.Done():
+				return
+			case <-ticker.C:
+				local.touch()
+			}
+		}
+	}()
 
 	tr := &roundTransport{node: n, sid: sid, assign: assign, peers: ranks, self: self, local: local}
 	det, err := core.NewDetector(g, append(merged, core.WithCongestTransport(tr))...)
 	if err != nil {
 		cleanup()
-		return nil, settings, nil, true, err
+		return nil, nil, settings, nil, true, err
 	}
-	return det, settings, cleanup, true, nil
+	return det, dctx, settings, cleanup, true, nil
+}
+
+// sessionHeartbeat beats one remote shard's session until stopped, evicting
+// the peer and cancelling the detection after heartbeatMisses consecutive
+// transport failures.
+func (n *Node) sessionHeartbeat(dctx context.Context, stop <-chan struct{}, peer, sid string, abort context.CancelCauseFunc) {
+	ticker := time.NewTicker(n.hbInterval)
+	defer ticker.Stop()
+	miss := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-dctx.Done():
+			return
+		case <-ticker.C:
+		}
+		hctx, cancel := context.WithTimeout(context.Background(), n.peerTimeout)
+		var coord int64
+		status, err := n.post(hctx, peer+"/cluster/sessions/"+sid+"/heartbeat", heartbeatRequest{Session: sid}, nil, &coord)
+		cancel()
+		n.metrics.addCoord(coord)
+		if err == nil {
+			miss = 0
+			continue
+		}
+		if status != 0 {
+			// The peer is alive but rejected the beat: our session state is
+			// gone there (reaped, evicted, restarted). Unrecoverable.
+			abort(&PeerError{Peer: peer, Err: err})
+			return
+		}
+		if miss++; miss >= heartbeatMisses {
+			n.evict(peer)
+			abort(&PeerError{Peer: peer, Err: err})
+			return
+		}
+	}
 }
 
 // deleteSession tears one remote session down, best-effort.

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cdrw/internal/core"
+	"cdrw/internal/metrics"
+	"cdrw/internal/serve"
+)
+
+// faultConfig is the failure-detection tuning the fault tests run under:
+// tight deadlines so a whole kill-and-recover cycle fits in a few hundred
+// milliseconds.
+func faultConfig(cfg *Config) {
+	cfg.PeerTimeout = 400 * time.Millisecond
+	cfg.HeartbeatInterval = 50 * time.Millisecond
+}
+
+// faultCluster is a testCluster whose shards can be killed individually and
+// whose nodes run their background loops (gossip, liveness, reaper).
+type faultCluster struct {
+	*testCluster
+	srvs []*http.Server
+}
+
+// startFaultCluster boots k shards like startCluster, with the fault-test
+// failure knobs, started background loops, and an optional per-rank handler
+// wrapper for injecting stalls.
+func startFaultCluster(t testing.TB, k int, placementSeed uint64, wrap func(rank int, h http.Handler) http.Handler) *faultCluster {
+	t.Helper()
+	lns := make([]net.Listener, k)
+	urls := make([]string, k)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	fc := &faultCluster{testCluster: &testCluster{urls: urls}}
+	for i := 0; i < k; i++ {
+		m := metrics.NewServeMetrics()
+		reg := serve.NewRegistry(1, m)
+		cfg := Config{Size: k, Advertise: urls[i], Join: urls, PlacementSeed: placementSeed}
+		faultConfig(&cfg)
+		node, err := New(reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !node.Ready() {
+			t.Fatalf("shard %d: full join list should settle at construction", i)
+		}
+		node.Start()
+		t.Cleanup(node.Stop)
+		var handler http.Handler = serve.NewClusterHandler(reg, m, node)
+		if wrap != nil {
+			handler = wrap(i, handler)
+		}
+		srv := &http.Server{Handler: handler}
+		go func(ln net.Listener, srv *http.Server) { _ = srv.Serve(ln) }(lns[i], srv)
+		t.Cleanup(func() { _ = srv.Close() })
+		fc.nodes = append(fc.nodes, node)
+		fc.regs = append(fc.regs, reg)
+		fc.srvs = append(fc.srvs, srv)
+	}
+	return fc
+}
+
+// kill simulates one shard's death: its HTTP server drops every connection
+// and its background loops stop, as when the process dies.
+func (fc *faultCluster) kill(rank int) {
+	_ = fc.srvs[rank].Close()
+	fc.nodes[rank].Stop()
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: not true within %v", what, d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// gate blocks matching requests until released, signalling the first hit —
+// the stall injector for killing a shard at a precise protocol point.
+type gate struct {
+	inner   http.Handler
+	match   func(*http.Request) bool
+	hit     chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGate(match func(*http.Request) bool) *gate {
+	return &gate{match: match, hit: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gate) wrap(h http.Handler) http.Handler {
+	g.inner = h
+	return g
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.match(r) {
+		g.once.Do(func() { close(g.hit) })
+		<-g.release
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// TestClusterKillShardMidDetection is the headline fault-injection run:
+// one of 3 shards dies while holding a round's advance mid-flight. The
+// driver must fail the detection with a typed *PeerError within the ~2 s
+// failure budget — not the old 30 s freeze-wait wedge — the survivors must
+// evict the dead member and flip not-ready, and no session state may
+// survive on them.
+func TestClusterKillShardMidDetection(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := clusterTestGraph(t)
+	stall := newGate(func(r *http.Request) bool {
+		return r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/advance")
+	})
+	fc := startFaultCluster(t, 3, 42, func(rank int, h http.Handler) http.Handler {
+		if rank == 2 {
+			return stall.wrap(h)
+		}
+		return h
+	})
+	fc.register(t, "ppm", g)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, handled, err := fc.nodes[0].Detect(context.Background(), "ppm",
+			core.WithEngine(core.EngineCongest), core.WithSeed(9))
+		if err == nil && !handled {
+			err = errors.New("congest request not handled")
+		}
+		done <- err
+	}()
+
+	select {
+	case <-stall.hit:
+	case <-time.After(10 * time.Second):
+		t.Fatal("detection never reached shard 2's advance")
+	}
+	killed := time.Now()
+	fc.kill(2)
+	close(stall.release)
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("detection still wedged 10s after the shard died")
+	}
+	elapsed := time.Since(killed)
+	if err == nil {
+		t.Fatal("detection succeeded with a dead shard")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PeerError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, serve.ErrCluster) {
+		t.Fatalf("peer error must carry the 502 cluster class, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("driver took %v after the kill to fail, want <= 2s", elapsed)
+	}
+
+	// Survivors evict the dead member: membership un-settles, /readyz's
+	// backing state flips to not-ready, and the eviction is counted.
+	for _, rank := range []int{0, 1} {
+		node := fc.nodes[rank]
+		eventually(t, 5*time.Second, "survivor flips not-ready", func() bool {
+			return !node.Ready()
+		})
+	}
+	if fc.nodes[0].Metrics().Evictions() == 0 && fc.nodes[1].Metrics().Evictions() == 0 {
+		t.Fatal("no survivor recorded an eviction")
+	}
+
+	// No leaked session state or goroutines: the driver's deferred cleanup
+	// plus eviction drop every session, and all parked protocol waiters
+	// unwind.
+	for _, rank := range []int{0, 1} {
+		node := fc.nodes[rank]
+		eventually(t, 5*time.Second, "survivor sessions drain", func() bool {
+			return node.sessionCount() == 0
+		})
+	}
+	eventually(t, 5*time.Second, "goroutines return to baseline", func() bool {
+		for _, node := range fc.nodes {
+			node.client.CloseIdleConnections() // keepalive readers aren't leaks
+		}
+		return runtime.NumGoroutine() <= baseline+8
+	})
+}
+
+// TestClusterStalledSharesPull kills the protocol at its other vulnerable
+// point: a peer that accepts the shares pull and never answers. The pull's
+// own deadline (not the caller's context) must bound the stall, and the
+// driver must surface a typed error within the failure budget.
+func TestClusterStalledSharesPull(t *testing.T) {
+	g := clusterTestGraph(t)
+	stall := newGate(func(r *http.Request) bool {
+		return r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/shares")
+	})
+	fc := startFaultCluster(t, 3, 42, func(rank int, h http.Handler) http.Handler {
+		if rank == 2 {
+			return stall.wrap(h)
+		}
+		return h
+	})
+	defer close(stall.release)
+	fc.register(t, "ppm", g)
+
+	start := time.Now()
+	_, _, handled, err := fc.nodes[0].Detect(context.Background(), "ppm",
+		core.WithEngine(core.EngineCongest), core.WithSeed(9))
+	elapsed := time.Since(start)
+	if !handled {
+		t.Fatal("not handled")
+	}
+	if err == nil {
+		t.Fatal("detection succeeded through a stalled shares pull")
+	}
+	if !errors.Is(err, serve.ErrCluster) {
+		t.Fatalf("want the cluster error class, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled pull took %v to fail, want <= 2s", elapsed)
+	}
+}
+
+// TestPullSharesBoundedWithoutDeadline pins the satellite fix for the
+// untimed peer client: a pull against a peer that accepts the connection
+// and never responds returns within the peer deadline even when the caller
+// supplies a context with no deadline at all.
+func TestPullSharesBoundedWithoutDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, never respond
+		}
+	}()
+
+	reg := serve.NewRegistry(1, nil)
+	cfg := Config{Size: 2, Advertise: "http://" + ln.Addr().String(), Join: []string{"http://stub"}}
+	faultConfig(&cfg)
+	node, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = node.pullShares(context.Background(), "http://"+ln.Addr().String(), "s1", 1, 0, 1, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("pull against a silent peer succeeded")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PeerError, got %T: %v", err, err)
+	}
+	if elapsed > 2*cfg.PeerTimeout {
+		t.Fatalf("undeadlined pull took %v, want <= %v", elapsed, 2*cfg.PeerTimeout)
+	}
+}
+
+// TestSessionReaper pins the orphan cleanup: a session whose driver stops
+// heartbeating is dropped after the TTL, and a shares request parked on it
+// unwinds with a cluster-class error rather than wedging.
+func TestSessionReaper(t *testing.T) {
+	g := clusterTestGraph(t)
+	fc := startFaultCluster(t, 2, 1, nil)
+	fc.register(t, "ppm", g)
+
+	node := fc.nodes[0]
+	ranks, _, err := node.roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq := sessionRequest{
+		Session: "orphan", Graph: "ppm", Members: ranks,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(), PlacementSeed: 1,
+	}
+	if err := node.createSession(sreq); err != nil {
+		t.Fatal(err)
+	}
+	s, err := node.session("orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		_, err := s.shares(context.Background(), 1, 1)
+		parked <- err
+	}()
+
+	// No heartbeats arrive: the reaper must drop the session once the TTL
+	// (4x the peer deadline) passes, and the parked waiter must unwind.
+	eventually(t, 10*time.Second, "orphaned session reaped", func() bool {
+		return node.sessionCount() == 0
+	})
+	select {
+	case err := <-parked:
+		if !errors.Is(err, serve.ErrCluster) {
+			t.Fatalf("parked shares waiter: want cluster error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked shares waiter still parked after the reap")
+	}
+}
+
+// TestClusterHeartbeatKeepsSessionAlive is the reaper's inverse: a live
+// driver's heartbeats hold a session open well past the TTL.
+func TestClusterHeartbeatKeepsSessionAlive(t *testing.T) {
+	g := clusterTestGraph(t)
+	fc := startFaultCluster(t, 2, 1, nil)
+	fc.register(t, "ppm", g)
+
+	node := fc.nodes[0]
+	ranks, _, err := node.roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq := sessionRequest{
+		Session: "beaten", Graph: "ppm", Members: ranks,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(), PlacementSeed: 1,
+	}
+	if err := node.createSession(sreq); err != nil {
+		t.Fatal(err)
+	}
+	defer node.dropSession("beaten")
+	ttl := 4 * 400 * time.Millisecond // 4x the faultConfig peer deadline
+	deadline := time.Now().Add(ttl + ttl/2)
+	for time.Now().Before(deadline) {
+		status, err := postStatus(t, fc.urls[0]+"/cluster/sessions/beaten/heartbeat", `{"session":"beaten"}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK {
+			t.Fatalf("heartbeat: want 200, got %d", status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if node.sessionCount() != 1 {
+		t.Fatal("heartbeated session was reaped")
+	}
+}
+
+// postStatus posts a JSON body and returns the status code alone — unlike
+// postBody it does not require 200, so error-class tests reuse it.
+func postStatus(t *testing.T, url, body string) (int, error) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}

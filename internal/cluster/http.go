@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"cdrw/internal/serve"
 )
@@ -18,6 +19,7 @@ import (
 //	POST   /cluster/sessions                      create a detection session
 //	DELETE /cluster/sessions/{sid}                drop a session
 //	POST   /cluster/sessions/{sid}/advance        drive one flood round
+//	POST   /cluster/sessions/{sid}/heartbeat      driver liveness beat
 //	GET    /cluster/sessions/{sid}/shares         pull frozen boundary shares
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -26,15 +28,26 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/sessions", n.handleCreateSession)
 	mux.HandleFunc("DELETE /cluster/sessions/{sid}", n.handleDeleteSession)
 	mux.HandleFunc("POST /cluster/sessions/{sid}/advance", n.handleAdvance)
+	mux.HandleFunc("POST /cluster/sessions/{sid}/heartbeat", n.handleHeartbeat)
 	mux.HandleFunc("GET /cluster/sessions/{sid}/shares", n.handleShares)
 	return mux
 }
 
+// clusterError maps a protocol failure to a status: 503 for unsettled
+// membership, 400 for requests malformed in themselves (bodies, params),
+// 502 for a dead peer observed downstream, and 409 for genuine
+// round-protocol conflicts (unknown sessions, out-of-order rounds,
+// mismatched graphs) — the classes a driver treats differently.
 func clusterError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var pe *PeerError
 	switch {
 	case errors.Is(err, serve.ErrClusterNotReady):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.As(err, &pe):
+		status = http.StatusBadGateway
 	case errors.Is(err, errCluster):
 		status = http.StatusConflict
 	}
@@ -46,7 +59,7 @@ func clusterError(w http.ResponseWriter, err error) {
 func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		clusterError(w, fmt.Errorf("%w: bad join body: %v", errCluster, err))
+		clusterError(w, fmt.Errorf("%w: bad join body: %v", errBadRequest, err))
 		return
 	}
 	n.merge(append(req.Members, req.Advertise))
@@ -61,7 +74,7 @@ func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (n *Node) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req sessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		clusterError(w, fmt.Errorf("%w: bad session body: %v", errCluster, err))
+		clusterError(w, fmt.Errorf("%w: bad session body: %v", errBadRequest, err))
 		return
 	}
 	if err := n.createSession(req); err != nil {
@@ -84,7 +97,7 @@ func (n *Node) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	}
 	var req advanceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		clusterError(w, fmt.Errorf("%w: bad advance body: %v", errCluster, err))
+		clusterError(w, fmt.Errorf("%w: bad advance body: %v", errBadRequest, err))
 		return
 	}
 	resp, err := s.advance(r.Context(), req)
@@ -95,6 +108,23 @@ func (n *Node) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHeartbeat records driver liveness for one session. A 200 means the
+// session is alive here; an unknown session answers 409, telling the driver
+// its state is gone (reaped or evicted) and the detection cannot complete.
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	s, err := n.session(r.PathValue("sid"))
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	s.touch()
+	writeJSON(w, map[string]string{"session": s.id})
+}
+
+// handleShares serves one frozen per-peer payload, content-negotiated: a
+// puller advertising the binary codec (Accept) gets the compact varint
+// encoding, anything else gets the JSON sharesPayload — the fallback that
+// keeps mixed-version clusters exchangeable.
 func (n *Node) handleShares(w http.ResponseWriter, r *http.Request) {
 	s, err := n.session(r.PathValue("sid"))
 	if err != nil {
@@ -103,21 +133,30 @@ func (n *Node) handleShares(w http.ResponseWriter, r *http.Request) {
 	}
 	round, err := strconv.Atoi(r.URL.Query().Get("round"))
 	if err != nil {
-		clusterError(w, fmt.Errorf("%w: bad round: %v", errCluster, err))
+		clusterError(w, fmt.Errorf("%w: bad round: %v", errBadRequest, err))
 		return
 	}
 	to, err := strconv.Atoi(r.URL.Query().Get("to"))
 	if err != nil {
-		clusterError(w, fmt.Errorf("%w: bad to: %v", errCluster, err))
+		clusterError(w, fmt.Errorf("%w: bad to: %v", errBadRequest, err))
 		return
 	}
-	payload, err := s.shares(r.Context(), round, to)
+	shares, err := s.shares(r.Context(), round, to)
 	if err != nil {
 		clusterError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(payload)
+	if strings.Contains(r.Header.Get("Accept"), shareContentType) {
+		payload, err := encodeShares(round, shares)
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", shareContentType)
+		_, _ = w.Write(payload)
+		return
+	}
+	writeJSON(w, sharesPayload{Round: round, Shares: shares})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -25,6 +25,9 @@ type WireMetrics struct {
 	pulls      int64
 	rounds     int64
 	coordBytes int64
+	evictions  int64 // members evicted after missed heartbeats
+	reaped     int64 // sessions dropped for a silent driver
+	retries    int64 // share-pull attempts retried after transient failures
 	maxWords   int64 // largest single-pull word count: measured max per-round link load
 	maxBytes   int64
 }
@@ -74,6 +77,34 @@ func (m *WireMetrics) addCoord(bytes int64) {
 	m.mu.Unlock()
 }
 
+// addEviction records one member evicted after missed heartbeats.
+func (m *WireMetrics) addEviction() {
+	m.mu.Lock()
+	m.evictions++
+	m.mu.Unlock()
+}
+
+// addReaped records one session dropped because its driver went silent.
+func (m *WireMetrics) addReaped() {
+	m.mu.Lock()
+	m.reaped++
+	m.mu.Unlock()
+}
+
+// addRetry records one share-pull attempt retried after a transient failure.
+func (m *WireMetrics) addRetry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// Evictions returns members evicted after missed heartbeats.
+func (m *WireMetrics) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
+
 // MaxLinkWords returns the largest per-round word load measured on any
 // machine link — the quantity to hold against the simulator's MaxLinkLoad.
 func (m *WireMetrics) MaxLinkWords() int64 {
@@ -96,6 +127,18 @@ func (m *WireMetrics) TotalLinkBytes() int64 {
 	var sum int64
 	for _, b := range m.linkBytes {
 		sum += b
+	}
+	return sum
+}
+
+// TotalLinkWords returns all share words pulled across machine links; the
+// bytes/word quotient against TotalLinkBytes is the codec's framing cost.
+func (m *WireMetrics) TotalLinkWords() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for _, w := range m.linkWords {
+		sum += w
 	}
 	return sum
 }
@@ -127,8 +170,18 @@ func (m *WireMetrics) WritePrometheus(w io.Writer) error {
 			"cdrw_cluster_max_link_words %d\n"+
 			"# HELP cdrw_cluster_max_link_bytes Largest per-round encoded payload on any machine link.\n"+
 			"# TYPE cdrw_cluster_max_link_bytes gauge\n"+
-			"cdrw_cluster_max_link_bytes %d\n",
-		m.pulls, m.rounds, m.coordBytes, m.maxWords, m.maxBytes); err != nil {
+			"cdrw_cluster_max_link_bytes %d\n"+
+			"# HELP cdrw_cluster_evictions_total Members evicted after missed heartbeats.\n"+
+			"# TYPE cdrw_cluster_evictions_total counter\n"+
+			"cdrw_cluster_evictions_total %d\n"+
+			"# HELP cdrw_cluster_sessions_reaped_total Sessions dropped because their driver went silent.\n"+
+			"# TYPE cdrw_cluster_sessions_reaped_total counter\n"+
+			"cdrw_cluster_sessions_reaped_total %d\n"+
+			"# HELP cdrw_cluster_pull_retries_total Share-pull attempts retried after transient failures.\n"+
+			"# TYPE cdrw_cluster_pull_retries_total counter\n"+
+			"cdrw_cluster_pull_retries_total %d\n",
+		m.pulls, m.rounds, m.coordBytes, m.maxWords, m.maxBytes,
+		m.evictions, m.reaped, m.retries); err != nil {
 		return err
 	}
 	if m.k > 0 {

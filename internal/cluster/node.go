@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,8 +21,46 @@ import (
 // maps it to 502. Not-ready conditions wrap serve.ErrClusterNotReady (503).
 var errCluster = serve.ErrCluster
 
-// gossipInterval paces the join loop until membership settles.
+// errBadRequest marks protocol requests that are malformed in themselves —
+// undecodable bodies, non-numeric query params, out-of-range ranks — as
+// distinct from genuine round-protocol conflicts: the shard HTTP surface
+// maps it to 400 where round conflicts stay 409.
+var errBadRequest = fmt.Errorf("%w: bad request", errCluster)
+
+// PeerError reports one peer that failed or timed out during a cluster
+// detection — the bounded, typed abort the driver returns instead of letting
+// a dead shard wedge the round protocol. It wraps serve.ErrCluster, so the
+// HTTP layer maps it to 502.
+type PeerError struct {
+	// Peer is the advertise URL of the member that missed its deadline.
+	Peer string
+	// Err is the underlying RPC or heartbeat failure.
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster peer %s failed: %v", e.Peer, e.Err)
+}
+
+// Unwrap exposes both the cluster error class and the underlying cause.
+func (e *PeerError) Unwrap() []error { return []error{errCluster, e.Err} }
+
+// gossipInterval paces the background loop: the join phase gossips at this
+// rate until membership settles, and the monitor phase wakes at the same
+// rate to check whether a liveness probe is due.
 const gossipInterval = 150 * time.Millisecond
+
+// Defaults for the failure-detection knobs (cdrwd flags -peer-timeout and
+// -heartbeat override them).
+const (
+	defaultPeerTimeout       = 2 * time.Second
+	defaultHeartbeatInterval = 500 * time.Millisecond
+)
+
+// heartbeatMisses is how many consecutive missed heartbeats or liveness
+// probes declare a peer dead. With the defaults that is ~1.5 s of silence —
+// inside the ~2 s failure budget but tolerant of one dropped packet.
+const heartbeatMisses = 3
 
 // Config describes one shard of a static cluster.
 type Config struct {
@@ -37,7 +77,19 @@ type Config struct {
 	// PlacementSeed keys the deterministic hash placement
 	// (kmachine.HashPartition). Every shard must use the same seed.
 	PlacementSeed uint64
-	// Client issues all peer HTTP requests; nil uses a private default.
+	// PeerTimeout bounds every peer RPC attempt, the freeze wait inside a
+	// shares pull, and the per-probe liveness deadline. An advance RPC —
+	// which nests a freeze wait and a pull on the remote side — is allowed
+	// 3× this. 0 means 2 s.
+	PeerTimeout time.Duration
+	// HeartbeatInterval paces the driver's per-session heartbeats and the
+	// settled shard's peer liveness probes. heartbeatMisses consecutive
+	// failures evict the peer. 0 means 500 ms.
+	HeartbeatInterval time.Duration
+	// Client issues all peer HTTP requests; nil uses a private default with
+	// transport-level dial and response-header timeouts derived from
+	// PeerTimeout, so no peer RPC can hang past its deadline even when a
+	// request context carries none.
 	Client *http.Client
 }
 
@@ -49,11 +101,15 @@ type Node struct {
 	cfg    Config
 	client *http.Client
 
+	peerTimeout time.Duration
+	hbInterval  time.Duration
+
 	mu       sync.Mutex
 	members  map[string]struct{}
 	ranks    []string // sorted members, valid once settled
 	self     int      // own rank, valid once settled
 	settled  bool
+	started  bool
 	sessions map[string]*session
 
 	seq     atomic.Int64
@@ -71,18 +127,36 @@ func New(reg *serve.Registry, cfg Config) (*Node, error) {
 	if cfg.Advertise == "" {
 		return nil, fmt.Errorf("cluster: empty advertise URL")
 	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = defaultPeerTimeout
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = defaultHeartbeatInterval
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		// Transport-level timeouts are the backstop for contexts without
+		// deadlines: no dial and no response-header wait may outlive the
+		// advance budget. (Request bodies still stream unbounded — advance
+		// responses can be large — so every RPC also sets a context
+		// deadline at the call site.)
+		client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: cfg.PeerTimeout}).DialContext,
+			ResponseHeaderTimeout: 3 * cfg.PeerTimeout,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       90 * time.Second,
+		}}
 	}
 	n := &Node{
-		reg:      reg,
-		cfg:      cfg,
-		client:   client,
-		members:  map[string]struct{}{cfg.Advertise: {}},
-		sessions: make(map[string]*session),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		reg:         reg,
+		cfg:         cfg,
+		client:      client,
+		peerTimeout: cfg.PeerTimeout,
+		hbInterval:  cfg.HeartbeatInterval,
+		members:     map[string]struct{}{cfg.Advertise: {}},
+		sessions:    make(map[string]*session),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	for _, peer := range cfg.Join {
 		if peer != "" && peer != cfg.Advertise {
@@ -93,37 +167,162 @@ func New(reg *serve.Registry, cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// Start launches the gossip loop. It returns immediately; readiness flips
-// asynchronously once Size members are known. Even an already-settled shard
-// (complete Join list) announces itself once, so peers booted with partial
-// seed lists still learn the full membership from it.
+// Start launches the background loop: gossip until membership settles, then
+// monitor peer liveness (evicting members that miss heartbeatMisses
+// consecutive probes, which flips /readyz to not-ready) and reap sessions
+// whose driver stopped heartbeating. It returns immediately; readiness
+// flips asynchronously once Size members are known. Even an already-settled
+// shard (complete Join list) announces itself once, so peers booted with
+// partial seed lists still learn the full membership from it.
 func (n *Node) Start() {
-	go func() {
-		defer close(n.done)
-		ticker := time.NewTicker(gossipInterval)
-		defer ticker.Stop()
-		for {
-			n.gossip()
-			if n.Ready() {
-				return
-			}
-			select {
-			case <-ticker.C:
-			case <-n.stop:
-				return
-			}
-		}
-	}()
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	go n.loop()
 }
 
-// Stop terminates the gossip loop.
+// Stop terminates the background loop.
 func (n *Node) Stop() {
+	n.mu.Lock()
+	started := n.started
+	n.mu.Unlock()
 	select {
 	case <-n.stop:
 	default:
 		close(n.stop)
 	}
-	<-n.done
+	if started {
+		<-n.done
+	}
+}
+
+// loop is the shard's background heartbeat: one goroutine that gossips
+// while unsettled (including after an eviction, so a restarted peer can
+// re-join and re-settle the membership) and, while settled, probes every
+// peer's liveness and reaps orphaned sessions.
+func (n *Node) loop() {
+	defer close(n.done)
+	ticker := time.NewTicker(gossipInterval)
+	defer ticker.Stop()
+	miss := make(map[string]int)
+	var lastProbe time.Time
+	n.gossip() // announce immediately, even when already settled
+	for {
+		select {
+		case <-ticker.C:
+		case <-n.stop:
+			return
+		}
+		if !n.Ready() {
+			n.gossip()
+			continue
+		}
+		if time.Since(lastProbe) < n.hbInterval {
+			continue
+		}
+		lastProbe = time.Now()
+		n.reapSessions()
+		for _, peer := range n.peersSnapshot() {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if n.probe(peer) {
+				delete(miss, peer)
+				continue
+			}
+			miss[peer]++
+			if miss[peer] >= heartbeatMisses {
+				delete(miss, peer)
+				n.evict(peer)
+			}
+		}
+	}
+}
+
+// probe checks one peer's liveness endpoint within the peer deadline.
+func (n *Node) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// peersSnapshot returns every settled member except this shard.
+func (n *Node) peersSnapshot() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.settled {
+		return nil
+	}
+	out := make([]string, 0, len(n.ranks)-1)
+	for _, p := range n.ranks {
+		if p != n.cfg.Advertise {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// evict removes a dead member: membership un-settles (so /readyz flips to
+// not-ready and new cluster detections refuse with ErrClusterNotReady), and
+// every session is dropped — all of them span the full roster, so all are
+// orphaned by the loss. The member map keeps gossiping afterwards, so a
+// restarted peer that re-joins re-settles the membership.
+func (n *Node) evict(peer string) {
+	n.mu.Lock()
+	if _, ok := n.members[peer]; !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.members, peer)
+	n.settled = false
+	n.ranks = nil
+	orphans := make([]*session, 0, len(n.sessions))
+	for id, s := range n.sessions {
+		orphans = append(orphans, s)
+		delete(n.sessions, id)
+	}
+	n.mu.Unlock()
+	for _, s := range orphans {
+		s.close()
+	}
+	n.metrics.addEviction()
+}
+
+// reapSessions drops sessions whose driver has stopped heartbeating — the
+// shard-side cleanup for a driver that died mid-detection and could not
+// issue its DELETEs. The TTL is generous against heartbeat jitter; the
+// prompt path is still the driver's deferred session teardown.
+func (n *Node) reapSessions() {
+	ttl := 4 * n.peerTimeout
+	var dead []*session
+	n.mu.Lock()
+	for id, s := range n.sessions {
+		if s.idle() > ttl {
+			dead = append(dead, s)
+			delete(n.sessions, id)
+		}
+	}
+	n.mu.Unlock()
+	for _, s := range dead {
+		s.close()
+		n.metrics.addReaped()
+	}
 }
 
 // gossip pushes this shard's member view to every known peer and merges
@@ -136,7 +335,7 @@ func (n *Node) gossip() {
 		if peer == n.cfg.Advertise {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), n.peerTimeout)
 		var resp joinResponse
 		err := n.postJSON(ctx, peer+"/cluster/join", req, &resp, nil)
 		cancel()
@@ -214,6 +413,13 @@ func (n *Node) Metrics() *WireMetrics { return &n.metrics }
 // WriteMetrics implements serve.ClusterBackend.
 func (n *Node) WriteMetrics(w io.Writer) error { return n.metrics.WritePrometheus(w) }
 
+// sessionCount reports live sessions (leak assertions in tests).
+func (n *Node) sessionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.sessions)
+}
+
 // roster returns the settled rank order and this shard's rank.
 func (n *Node) roster() ([]string, int, error) {
 	n.mu.Lock()
@@ -276,82 +482,141 @@ func (n *Node) createSession(req sessionRequest) error {
 	return nil
 }
 
-// dropSession removes a session; missing ids are fine (best-effort cleanup).
+// dropSession removes a session and unparks anything waiting on it; missing
+// ids are fine (best-effort cleanup).
 func (n *Node) dropSession(id string) {
 	n.mu.Lock()
+	s := n.sessions[id]
 	delete(n.sessions, id)
 	n.mu.Unlock()
+	if s != nil {
+		s.close()
+	}
 }
 
+// pullRetryBackoff is the initial backoff between share-pull attempts; it
+// doubles per retry. All attempts share one PeerTimeout budget, so the
+// worst-case pull latency stays bounded by the peer deadline.
+const pullRetryBackoff = 50 * time.Millisecond
+
 // pullShares fetches one peer's frozen boundary shares for one round and
-// counts the transfer against the from→to machine link.
+// counts the transfer against the from→to machine link. The pull is
+// idempotent (the payload stays frozen until the next round), so transient
+// failures retry with backoff inside one PeerTimeout budget; a peer that
+// stays unreachable yields a typed *PeerError within the deadline.
 func (n *Node) pullShares(ctx context.Context, peer, sid string, round, self, from, walks int) ([][]entry, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.peerTimeout)
+	defer cancel()
+	backoff := pullRetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			n.metrics.addRetry()
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, &PeerError{Peer: peer, Err: fmt.Errorf("pull shares round %d: %w (last: %v)", round, ctx.Err(), lastErr)}
+			}
+		}
+		shares, retriable, err := n.pullSharesOnce(ctx, peer, sid, round, self, from, walks)
+		if err == nil {
+			return shares, nil
+		}
+		lastErr = err
+		if !retriable || ctx.Err() != nil {
+			return nil, &PeerError{Peer: peer, Err: err}
+		}
+	}
+}
+
+// pullSharesOnce is one pull attempt. retriable=true marks transport-level
+// failures (dial, reset, timeout) where a retry within the deadline can
+// still succeed; protocol-level rejections are final.
+func (n *Node) pullSharesOnce(ctx context.Context, peer, sid string, round, self, from, walks int) (_ [][]entry, retriable bool, _ error) {
 	url := fmt.Sprintf("%s/cluster/sessions/%s/shares?round=%d&to=%d", peer, sid, round, self)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errCluster, err)
+		return nil, false, fmt.Errorf("%w: %v", errCluster, err)
 	}
+	// Negotiate the compact binary codec per link; peers that predate it
+	// ignore the header and answer JSON, which the decode path below still
+	// accepts.
+	req.Header.Set("Accept", shareContentType)
 	resp, err := n.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+		return nil, true, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
-		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+		return nil, true, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%w: pull shares from %s: %s: %s", errCluster, peer, resp.Status, firstLine(body))
+		return nil, false, fmt.Errorf("%w: pull shares from %s: %s: %s", errCluster, peer, resp.Status, firstLine(body))
 	}
 	var pl sharesPayload
-	if err := json.Unmarshal(body, &pl); err != nil {
-		return nil, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), shareContentType) {
+		pl.Round, pl.Shares, err = decodeShares(body)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
+		}
+	} else if err := json.Unmarshal(body, &pl); err != nil {
+		return nil, false, fmt.Errorf("%w: pull shares from %s: %v", errCluster, peer, err)
 	}
 	if pl.Round != round || len(pl.Shares) != walks {
-		return nil, fmt.Errorf("%w: pull shares from %s: got round %d/%d walks, want %d/%d", errCluster, peer, pl.Round, len(pl.Shares), round, walks)
+		return nil, false, fmt.Errorf("%w: pull shares from %s: got round %d/%d walks, want %d/%d", errCluster, peer, pl.Round, len(pl.Shares), round, walks)
 	}
 	var words int64
 	for _, sh := range pl.Shares {
 		words += int64(len(sh))
 	}
 	n.metrics.addPull(from, self, int64(len(body)), words)
-	return pl.Shares, nil
+	return pl.Shares, false, nil
 }
 
 // postJSON posts v to url and decodes the response into out (which may be
 // nil). When wire is non-nil it receives the request+response body sizes —
 // the driver's coordination-byte accounting.
 func (n *Node) postJSON(ctx context.Context, url string, v, out any, wire *int64) error {
+	_, err := n.post(ctx, url, v, out, wire)
+	return err
+}
+
+// post is postJSON exposing the response status: 0 means the request never
+// completed (transport-level failure), so callers like the heartbeat loop
+// can distinguish a dead peer from a live peer rejecting the request.
+func (n *Node) post(ctx context.Context, url string, v, out any, wire *int64) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("%w: %v", errCluster, err)
+		return 0, fmt.Errorf("%w: %v", errCluster, err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("%w: %v", errCluster, err)
+		return 0, fmt.Errorf("%w: %v", errCluster, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := n.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("%w: post %s: %v", errCluster, url, err)
+		return 0, fmt.Errorf("%w: post %s: %v", errCluster, url, err)
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
-		return fmt.Errorf("%w: post %s: %v", errCluster, url, err)
+		return 0, fmt.Errorf("%w: post %s: %v", errCluster, url, err)
 	}
 	if wire != nil {
 		*wire += int64(len(body) + len(respBody))
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: post %s: %s: %s", errCluster, url, resp.Status, firstLine(respBody))
+		return resp.StatusCode, fmt.Errorf("%w: post %s: %s: %s", errCluster, url, resp.Status, firstLine(respBody))
 	}
 	if out != nil {
 		if err := json.Unmarshal(respBody, out); err != nil {
-			return fmt.Errorf("%w: post %s: decode response: %v", errCluster, url, err)
+			return resp.StatusCode, fmt.Errorf("%w: post %s: decode response: %v", errCluster, url, err)
 		}
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 func firstLine(b []byte) string {

@@ -2,28 +2,29 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cdrw/internal/graph"
 )
 
-// shareWait bounds how long a shares pull may wait for the local advance of
-// the same round to freeze its payloads — the slack between the driver's
-// parallel advance POSTs landing on different shards.
-const shareWait = 30 * time.Second
-
 // session is one detection's shard-local state. Sessions are almost
 // stateless: each advance request carries the full owned support, so the
 // only state crossing rounds is the round counter and the frozen per-peer
-// payloads the other shards pull.
+// shares the other shards pull.
 //
 // The round protocol is deadlock-free by construction: advance FREEZES this
-// shard's outgoing payloads (under mu, briefly) before it starts pulling
+// shard's outgoing shares (under mu, briefly) before it starts pulling
 // from peers, so two shards pulling from each other both find frozen
-// payloads waiting — no advance ever blocks on another advance.
+// shares waiting — no advance ever blocks on another advance.
+//
+// Lifecycle: the driver heartbeats every session it opened at the cluster's
+// heartbeat interval; lastBeat records the latest heartbeat or advance, and
+// the node's reaper drops sessions whose driver has gone silent past the
+// TTL. close() — reached via DELETE, eviction or the reaper — unparks every
+// shares waiter immediately instead of letting it sit out a freeze wait.
 type session struct {
 	node  *Node
 	id    string
@@ -31,6 +32,8 @@ type session struct {
 	store *Store
 	peers []string // rank-ordered advertise URLs
 	self  int
+
+	lastBeat atomic.Int64 // unix nanos of the last heartbeat or advance
 
 	// advanceMu serialises rounds: the driver's barrier means at most one
 	// advance is ever in flight per session, but the lock keeps a confused
@@ -40,8 +43,10 @@ type session struct {
 	mu          sync.Mutex
 	round       int // last completed round
 	frozenRound int
-	frozen      [][]byte // per peer rank, encoded sharesPayload
+	frozen      [][][]entry // per peer rank, per walk; encoded per pull
 	frozenC     chan struct{}
+	closed      chan struct{}
+	closeOnce   sync.Once
 
 	// scratch, reused across rounds (advanceMu makes them single-writer)
 	share []float64
@@ -51,19 +56,34 @@ type session struct {
 
 func newSession(node *Node, id string, g *graph.Graph, store *Store, peers []string, self int) *session {
 	n := g.NumVertices()
-	return &session{
+	s := &session{
 		node:    node,
 		id:      id,
 		g:       g,
 		store:   store,
 		peers:   peers,
 		self:    self,
-		frozen:  make([][]byte, len(peers)),
+		frozen:  make([][][]entry, len(peers)),
 		frozenC: make(chan struct{}),
+		closed:  make(chan struct{}),
 		share:   make([]float64, n),
 		iso:     make([]float64, n),
 	}
+	s.touch()
+	return s
 }
+
+// touch records driver liveness (heartbeats and advances both count).
+func (s *session) touch() { s.lastBeat.Store(time.Now().UnixNano()) }
+
+// idle reports how long the driver has been silent.
+func (s *session) idle() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastBeat.Load())
+}
+
+// close tears the session down: every parked shares waiter returns
+// immediately with a cluster error. Idempotent.
+func (s *session) close() { s.closeOnce.Do(func() { close(s.closed) }) }
 
 // advance executes one flood round for this shard: freeze outgoing boundary
 // shares, pull the ghost shares this shard's owned vertices read, then
@@ -72,6 +92,12 @@ func newSession(node *Node, id string, g *graph.Graph, store *Store, peers []str
 func (s *session) advance(ctx context.Context, req advanceRequest) (advanceResponse, error) {
 	s.advanceMu.Lock()
 	defer s.advanceMu.Unlock()
+	select {
+	case <-s.closed:
+		return advanceResponse{}, fmt.Errorf("%w: session %s: closed", errCluster, s.id)
+	default:
+	}
+	s.touch()
 	if req.Round != s.round+1 {
 		return advanceResponse{}, fmt.Errorf("%w: session %s: advance round %d after round %d", errCluster, s.id, req.Round, s.round)
 	}
@@ -164,11 +190,19 @@ func (s *session) advance(ctx context.Context, req advanceRequest) (advanceRespo
 	return resp, nil
 }
 
-// freeze encodes, per peer, the non-zero boundary shares of every walk.
-func (s *session) freeze(req advanceRequest) ([][]byte, error) {
+// freeze collects, per peer, the non-zero boundary shares of every walk.
+// Entries come out in boundary-list order — ascending vertex id — which the
+// binary codec's delta coding relies on.
+//
+// s.share doubles as the mass scratch here. The aliasing is safe because of
+// a zero-in/zero-out invariant: advance's gather phase (the other writer)
+// runs strictly after freeze returns and restores every touched slot to 0
+// before finishing the round, and freeze itself unmarks each walk's support
+// before moving to the next, so the buffer is all-zero whenever either
+// phase starts.
+func (s *session) freeze(req advanceRequest) ([][][]entry, error) {
 	n := s.g.NumVertices()
 	walks := len(req.Support)
-	s.mark = s.mark[:0]
 	for _, sup := range req.Support {
 		for _, e := range sup {
 			if e.V < 0 || int(e.V) >= n {
@@ -176,14 +210,13 @@ func (s *session) freeze(req advanceRequest) ([][]byte, error) {
 			}
 		}
 	}
-	payloads := make([][]byte, len(s.peers))
-	scratch := s.share // reuse the share scratch as a mass buffer pre-gather
+	payloads := make([][][]entry, len(s.peers))
+	scratch := s.share
 	for j := range s.peers {
 		if j == s.self || len(s.store.Boundary(j)) == 0 {
 			continue
 		}
-		pl := sharesPayload{Round: req.Round, Shares: make([][]entry, walks)}
-		payloads[j] = nil
+		shares := make([][]entry, walks)
 		for w := 0; w < walks; w++ {
 			// Mass-mark this walk's support, emit its boundary shares, unmark.
 			for _, e := range req.Support[w] {
@@ -198,13 +231,9 @@ func (s *session) freeze(req advanceRequest) ([][]byte, error) {
 			for _, e := range req.Support[w] {
 				scratch[e.V] = 0
 			}
-			pl.Shares[w] = out
+			shares[w] = out
 		}
-		b, err := json.Marshal(pl)
-		if err != nil {
-			return nil, fmt.Errorf("%w: session %s: encode shares: %v", errCluster, s.id, err)
-		}
-		payloads[j] = b
+		payloads[j] = shares
 	}
 	return payloads, nil
 }
@@ -217,23 +246,28 @@ func (s *session) checkOwned(v int32) error {
 	return nil
 }
 
-// shares serves one peer's frozen payload for one round, waiting (bounded)
-// for the local advance of that round to freeze it first.
-func (s *session) shares(ctx context.Context, round, to int) ([]byte, error) {
+// shares serves one peer's frozen shares for one round, waiting for the
+// local advance of that round to freeze them first. The wait is bounded by
+// the peer deadline — the slack between the driver's parallel advance POSTs
+// landing on different shards is milliseconds, so a freeze that has not
+// happened within PeerTimeout means the driver or a shard is gone, and
+// parking longer would only wedge the puller's own advance.
+func (s *session) shares(ctx context.Context, round, to int) ([][]entry, error) {
 	if to < 0 || to >= len(s.peers) {
-		return nil, fmt.Errorf("%w: session %s: peer rank %d out of range", errCluster, s.id, to)
+		return nil, fmt.Errorf("%w: session %s: peer rank %d out of range", errBadRequest, s.id, to)
 	}
-	deadline := time.NewTimer(shareWait)
+	s.touch()
+	deadline := time.NewTimer(s.node.peerTimeout)
 	defer deadline.Stop()
 	for {
 		s.mu.Lock()
 		if s.frozenRound == round {
-			b := s.frozen[to]
+			shares := s.frozen[to]
 			s.mu.Unlock()
-			if b == nil {
+			if shares == nil {
 				return nil, fmt.Errorf("%w: session %s: no boundary toward rank %d", errCluster, s.id, to)
 			}
-			return b, nil
+			return shares, nil
 		}
 		if s.frozenRound > round {
 			s.mu.Unlock()
@@ -243,10 +277,12 @@ func (s *session) shares(ctx context.Context, round, to int) ([]byte, error) {
 		s.mu.Unlock()
 		select {
 		case <-c:
+		case <-s.closed:
+			return nil, fmt.Errorf("%w: session %s: closed while waiting for round %d shares", errCluster, s.id, round)
 		case <-ctx.Done():
 			return nil, fmt.Errorf("%w: session %s: waiting for round %d shares: %v", errCluster, s.id, round, ctx.Err())
 		case <-deadline.C:
-			return nil, fmt.Errorf("%w: session %s: round %d shares never froze within %v", errCluster, s.id, round, shareWait)
+			return nil, fmt.Errorf("%w: session %s: round %d shares never froze within %v", errCluster, s.id, round, s.node.peerTimeout)
 		}
 	}
 }

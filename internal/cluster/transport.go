@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -64,9 +65,21 @@ func (t *roundTransport) Flood(ctx context.Context, frames []congest.FloodFrame)
 				resps[m], errs[m] = t.local.advance(ctx, reqs[m])
 				return
 			}
+			// An advance nests a freeze wait and a peer pull on the remote
+			// side, each bounded by PeerTimeout; 3× covers both plus the
+			// gather, so a hung shard cannot wedge the driver's round.
+			actx, cancel := context.WithTimeout(ctx, 3*t.node.peerTimeout)
 			var coord int64
-			errs[m] = t.node.postJSON(ctx, t.peers[m]+"/cluster/sessions/"+t.sid+"/advance", reqs[m], &resps[m], &coord)
+			err := t.node.postJSON(actx, t.peers[m]+"/cluster/sessions/"+t.sid+"/advance", reqs[m], &resps[m], &coord)
+			cancel()
 			t.node.metrics.addCoord(coord)
+			if err != nil {
+				var pe *PeerError
+				if !errors.As(err, &pe) {
+					err = &PeerError{Peer: t.peers[m], Err: err}
+				}
+				errs[m] = err
+			}
 		}(m)
 	}
 	wg.Wait()
