@@ -11,15 +11,21 @@ custom ns/step, ns/sweep and rounds/op, and allocs/op), and fails when:
     ns-valued metric (or, for the CONGEST batch benchmarks, in simulated
     rounds/op) by more than the threshold (default 20%) against the base
     ref, or
-  * BenchmarkDetectorReuse, BenchmarkDetectorReuseDense or
-    BenchmarkBatchWalkEngineReuse reports a non-zero allocs/op median in
-    head — the allocation-free repeat-run contracts of the Detector (sparse
-    and dense sweep paths) and of the parallel engine's batch walk engine,
-    gated absolutely (no baseline needed), or
+  * BenchmarkDetectorReuse, BenchmarkDetectorReuseDense,
+    BenchmarkBatchWalkEngineReuse or BenchmarkDetectorReuseTraceOff
+    reports a non-zero allocs/op median in head — the allocation-free
+    repeat-run contracts of the Detector (sparse and dense sweep paths),
+    of the parallel engine's batch walk engine, and of the tracing-off
+    detection path (a request without a trace in its context must not pay
+    the flight recorder anything), gated absolutely (no baseline needed), or
   * BenchmarkDetectorPoolThroughput/warm serves fewer than 5x the
     requests/s of .../fresh — the serving subsystem's acceptance bar
     (warm-cache pooled serving vs per-request Detector construction),
     also gated absolutely, or
+  * BenchmarkDetectorPoolThroughput/warm-traced costs more than 1.05x the
+    ns/op of .../warm — the flight recorder's overhead budget: tracing a
+    warm-cache request (trace allocation, context threading, phase
+    attribution) must stay within 5% of the untraced path, or
   * a cache-aware kernel pair at n=10⁶ falls below its absolute speedup
     bar against the reference kernel measured in the same run:
     BenchmarkSweepKernel1M/compact and BenchmarkFloodKernel1M/blocked
@@ -64,7 +70,8 @@ WIRE_RATIO_UNIT = "wire-ratio"
 GATED_SUBSTRINGS = ("Sparse", "DetectorReuse", "CongestBatch", "KMachineConv",
                     "DetectorPool", "MixSweep", "DetectStep")
 ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense",
-                         "BenchmarkBatchWalkEngineReuse")
+                         "BenchmarkBatchWalkEngineReuse",
+                         "BenchmarkDetectorReuseTraceOff")
 
 # Absolute throughput gate of the serving subsystem: warm-cache registry
 # serving must answer at least POOL_SPEEDUP_MIN times the requests/s of
@@ -74,6 +81,12 @@ ZERO_ALLOC_BENCHMARKS = ("BenchmarkDetectorReuse", "BenchmarkDetectorReuseDense"
 POOL_FRESH = "BenchmarkDetectorPoolThroughput/fresh"
 POOL_WARM = "BenchmarkDetectorPoolThroughput/warm"
 POOL_SPEEDUP_MIN = 5.0
+
+# Absolute overhead ceiling of the flight recorder: the warm-cache pooled
+# path with a live trace in the request context must stay within 5% of the
+# untraced warm path, measured head-only within the same run.
+POOL_TRACED = "BenchmarkDetectorPoolThroughput/warm-traced"
+TRACE_OVERHEAD_MAX = 1.05
 
 # Absolute kernel-pair gates at n=10⁶, each measured head-only against its
 # reference sibling in the same run: (label, reference key, optimised key,
@@ -173,6 +186,20 @@ def main():
         # acceptance benchmark itself broke — that must fail, not skip.
         print("DetectorPoolThroughput fresh/warm pair missing from head REGRESSION")
         failed.append(POOL_WARM)
+
+    # Absolute gate: tracing-on overhead on the warm pooled path.
+    traced_key = (POOL_TRACED, "ns/op")
+    if traced_key in head and warm_key in head:
+        warm, traced = median(head[warm_key]), median(head[traced_key])
+        ratio = traced / warm if warm > 0 else float("inf")
+        status = "ok" if ratio <= TRACE_OVERHEAD_MAX else "REGRESSION"
+        print(f"{POOL_TRACED}: {ratio:,.3f}x the untraced warm path "
+              f"(want <= {TRACE_OVERHEAD_MAX:g}x) {status}")
+        if ratio > TRACE_OVERHEAD_MAX:
+            failed.append(POOL_TRACED)
+    else:
+        print("DetectorPoolThroughput warm/warm-traced pair missing from head REGRESSION")
+        failed.append(POOL_TRACED)
 
     # Absolute gates: each cache-aware kernel against its reference sibling,
     # measured within the head run (no baseline drift).

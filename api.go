@@ -48,6 +48,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"time"
 
 	"cdrw/internal/baseline"
 	"cdrw/internal/cluster"
@@ -60,6 +61,7 @@ import (
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
 	"cdrw/internal/serve"
+	"cdrw/internal/trace"
 	"cdrw/internal/viz"
 )
 
@@ -499,6 +501,50 @@ func NewClusterNode(reg *GraphRegistry, cfg ClusterConfig) (*ClusterNode, error)
 func NewClusterServeHandler(reg *GraphRegistry, m *ServeMetrics, node *ClusterNode) http.Handler {
 	return serve.NewClusterHandler(reg, m, node)
 }
+
+// Request tracing: the flight recorder behind the daemon's
+// GET /debug/traces. A Trace rides the request context — the serving layer
+// mints one per /graphs/ request, the engines attribute per-phase time to
+// it, and cluster RPCs carry its ID in an X-Request-Id header so driver and
+// shard work stitch into one trace. A nil *Trace is a free no-op on every
+// method, and an untraced context costs nothing to check, so embedding
+// callers only pay for tracing when they attach one.
+type (
+	// Trace accumulates one request's per-phase durations and spans.
+	Trace = trace.Trace
+	// TracePhase identifies one pipeline phase (walk, sweep, flood,
+	// peer_pull, cache).
+	TracePhase = trace.Phase
+	// TraceSnapshot is a trace's JSON rendering, as /debug/traces serves it.
+	TraceSnapshot = trace.Snapshot
+	// TraceRecorder is the bounded ring of recent traces.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceID mints a fresh 16-hex-digit request ID.
+func NewTraceID() string { return trace.NewID() }
+
+// NewTrace starts a trace with the given request ID and name.
+func NewTrace(id, name string) *Trace { return trace.New(id, name) }
+
+// NewTraceAt is NewTrace with an externally observed start time, reusing a
+// clock read the caller already paid for (request wrappers time every
+// request anyway).
+func NewTraceAt(id, name string, start time.Time) *Trace { return trace.NewAt(id, name, start) }
+
+// ContextWithTrace attaches t to ctx; detections run under the returned
+// context attribute their phase time to t.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return trace.NewContext(ctx, t)
+}
+
+// TraceFromContext returns the context's trace, or nil. The lookup is
+// allocation-free.
+func TraceFromContext(ctx context.Context) *Trace { return trace.FromContext(ctx) }
+
+// NewTraceRecorder returns a ring keeping the last size traces (size <= 0
+// selects the default capacity).
+func NewTraceRecorder(size int) *TraceRecorder { return trace.NewRecorder(size) }
 
 // Distributed engines.
 type (

@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"cdrw"
 	"cdrw/internal/experiments"
@@ -503,6 +504,41 @@ func BenchmarkDetectorReuseDense(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorReuseTraceOff is BenchmarkDetectorReuse run under a
+// cancellable (non-Background) context carrying no trace — the exact serving
+// shape of an untraced request. It pins the flight recorder's disabled-path
+// contract: checking the context for a trace and finding none must keep the
+// warm path at 0 allocs/op (CI's bench gate enforces this absolutely, like
+// the other Reuse benchmarks).
+func BenchmarkDetectorReuseTraceOff(b *testing.B) {
+	const n = 10_000
+	const blocks = 16
+	bs := float64(n / blocks)
+	cfg := cdrw.PPMConfig{N: n, R: blocks, P: 20 / bs, Q: 0}
+	ppm, err := cdrw.NewPPM(cfg, cdrw.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cdrw.NewDetector(ppm.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for s := 0; s < n; s += n / blocks {
+		if _, _, err := d.DetectCommunity(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.DetectCommunity(ctx, (i*701)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Concurrent serving benchmarks ---
 //
 // BenchmarkDetectorPoolThroughput measures whole-graph serving requests/s at
@@ -624,6 +660,42 @@ func BenchmarkDetectorPoolThroughput(b *testing.B) {
 			if !cached || len(res.Detections) == 0 {
 				b.Fatal("warm tier missed the cache")
 			}
+		}
+		reportReqPerSec(b)
+	})
+
+	// warm-traced: the warm cache tier with a request trace attached per
+	// request — the flight recorder's enabled-path cost (trace allocation,
+	// context threading, cache-phase clock reads). CI's bench gate bounds
+	// the overhead against warm at 5%.
+	b.Run("warm-traced", func(b *testing.B) {
+		g, opts := benchServeGraph(b)
+		reg := cdrw.NewGraphRegistry(2, nil)
+		if err := reg.Register("g", g, opts...); err != nil {
+			b.Fatal(err)
+		}
+		base := context.Background()
+		if _, _, _, err := reg.Detect(base, "g"); err != nil {
+			b.Fatal(err) // populate the cache
+		}
+		// The ID arrives in a header and the start time is the latency
+		// measurement every request pays traced or not, so neither clock
+		// read nor mint belongs to tracing's measured overhead.
+		id := cdrw.NewTraceID()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := cdrw.NewTraceAt(id, "bench detect", start)
+			ctx := cdrw.ContextWithTrace(base, tr)
+			res, _, cached, err := reg.Detect(ctx, "g")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cached || len(res.Detections) == 0 {
+				b.Fatal("warm-traced tier missed the cache")
+			}
+			tr.Finish(0)
 		}
 		reportReqPerSec(b)
 	})

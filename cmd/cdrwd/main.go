@@ -10,6 +10,7 @@
 //	GET    /healthz
 //	GET    /readyz
 //	GET    /metrics
+//	GET    /debug/traces              recent request traces (?id= for one)
 //	GET    /graphs
 //	PUT    /graphs/{name}             (edge-list body)
 //	DELETE /graphs/{name}
@@ -38,17 +39,25 @@
 //	cdrwd -addr :8080 -cluster-size 3 -advertise http://10.0.0.2:8080 -join http://10.0.0.1:8080 &
 //	cdrwd -addr :8080 -cluster-size 3 -advertise http://10.0.0.3:8080 -join http://10.0.0.1:8080 &
 //
+// Observability: every response carries an X-Request-Id (accepted from the
+// client or minted); /graphs/ requests are traced with per-phase timing and
+// retrievable from /debug/traces; logs flow through log/slog (-log-format,
+// -log-level); -debug-addr opens a separate pprof/expvar listener. See
+// docs/OBSERVABILITY.md.
+//
 // The full endpoint and metrics reference is docs/API.md.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,7 +78,17 @@ func main() {
 	placementSeed := flag.Uint64("placement-seed", 1, "seed of the deterministic hash vertex placement (must match on every shard)")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "deadline for each cluster peer RPC; a peer silent past it fails the detection (502)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval; 3 consecutive misses evict the peer and flip /readyz")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for net/http/pprof and expvar (never mounted on the serving address)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdrwd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	var cfg *cluster.Config
 	if *clusterSize > 0 {
@@ -89,14 +108,62 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("cdrwd listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			slog.Error("cdrwd debug listen failed", "addr", *debugAddr, "error", err)
+			os.Exit(1)
+		}
+		slog.Info("cdrwd debug endpoints listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, debugMux()); err != nil {
+				slog.Error("cdrwd debug server failed", "error", err)
+			}
+		}()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("cdrwd listening on %s (pool size %d per graph/option set)", ln.Addr(), *poolSize)
+	slog.Info("cdrwd listening", "addr", ln.Addr().String(), "pool_size", *poolSize)
 	if err := run(ctx, ln, *poolSize, cfg); err != nil {
-		log.Fatal(err)
+		slog.Error("cdrwd failed", "error", err)
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags. Logs go to stderr either way; json selects one-object-per-line
+// output for log shippers.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// debugMux is the -debug-addr surface: the pprof profile family and expvar.
+// It is a private mux on a separate listener — the serving mux never exposes
+// it, so profiling access can be firewalled independently of traffic.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // run serves the daemon on ln until ctx is done, then drains in-flight
@@ -115,8 +182,8 @@ func run(ctx context.Context, ln net.Listener, poolSize int, clusterCfg *cluster
 		node.Start()
 		defer node.Stop()
 		handler = serve.NewClusterHandler(reg, m, node)
-		log.Printf("cdrwd cluster shard %s joining %d-machine cluster (placement seed %d)",
-			clusterCfg.Advertise, clusterCfg.Size, clusterCfg.PlacementSeed)
+		slog.Info("cdrwd cluster shard joining", "advertise", clusterCfg.Advertise,
+			"size", clusterCfg.Size, "placement_seed", clusterCfg.PlacementSeed)
 	}
 	srv := &http.Server{
 		Handler: handler,

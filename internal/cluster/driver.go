@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cdrw/internal/core"
+	"cdrw/internal/trace"
 )
 
 // Detect implements serve.ClusterBackend: a full pool-loop detection
@@ -161,12 +163,49 @@ func (n *Node) newDriver(ctx context.Context, name string, opts []core.Option) (
 	}()
 
 	tr := &roundTransport{node: n, sid: sid, assign: assign, peers: ranks, self: self, local: local}
+	if reqTrace := trace.FromContext(ctx); reqTrace != nil {
+		// Traced request: collect per-shard stage timings across the rounds
+		// and fold them into the trace when the detection finishes, so the
+		// driver's trace carries one span per rank — the stitched view.
+		tr.stats = make([]shardStat, len(ranks))
+		started := time.Now()
+		inner := cleanup
+		cleanup = func() {
+			recordShardSpans(reqTrace, tr, started)
+			inner()
+		}
+	}
 	det, err := core.NewDetector(g, append(merged, core.WithCongestTransport(tr))...)
 	if err != nil {
 		cleanup()
 		return nil, nil, settings, nil, true, err
 	}
 	return det, dctx, settings, cleanup, true, nil
+}
+
+// recordShardSpans emits one span per shard rank into the request trace,
+// covering the whole detection with the rank's accumulated freeze/pull/
+// gather nanoseconds as attributes, and books the summed cross-shard pull
+// time as the peer_pull phase (nested inside flood: pulls happen while the
+// driver waits on advances, so peer_pull explains flood time rather than
+// adding to the request total).
+func recordShardSpans(t *trace.Trace, rt *roundTransport, started time.Time) {
+	total := time.Since(started)
+	var pullNS int64
+	for m, st := range rt.stats {
+		if st.rounds == 0 {
+			continue
+		}
+		pullNS += st.pullNS
+		t.AddSpan("shard", m, started, total,
+			trace.Attr{Key: "freeze_ns", Value: strconv.FormatInt(st.freezeNS, 10)},
+			trace.Attr{Key: "pull_ns", Value: strconv.FormatInt(st.pullNS, 10)},
+			trace.Attr{Key: "gather_ns", Value: strconv.FormatInt(st.gatherNS, 10)},
+			trace.Attr{Key: "rounds", Value: strconv.Itoa(st.rounds)})
+	}
+	if pullNS > 0 {
+		t.AddPhase(trace.PhasePeerPull, time.Duration(pullNS))
+	}
 }
 
 // sessionHeartbeat beats one remote shard's session until stopped, evicting
@@ -200,7 +239,7 @@ func (n *Node) sessionHeartbeat(dctx context.Context, stop <-chan struct{}, peer
 			return
 		}
 		if miss++; miss >= heartbeatMisses {
-			n.evict(peer)
+			n.evict(peer, "missed session heartbeats")
 			abort(&PeerError{Peer: peer, Err: err})
 			return
 		}

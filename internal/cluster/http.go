@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -104,6 +105,12 @@ func (n *Node) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		clusterError(w, err)
 		return
+	}
+	// The driver stamps traced detections with its request id; logging it
+	// here ties this shard's round work to the driver's trace.
+	if id := r.Header.Get("X-Request-Id"); id != "" && resp.T != nil {
+		slog.Debug("cluster round advanced", "request_id", id, "session", s.id,
+			"round", req.Round, "freeze_ns", resp.T.FreezeNS, "pull_ns", resp.T.PullNS, "gather_ns", resp.T.GatherNS)
 	}
 	writeJSON(w, resp)
 }

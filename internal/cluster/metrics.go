@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
+
+	"cdrw/internal/metrics"
 )
 
 // WireMetrics counts what actually crossed the sockets, per machine link —
@@ -30,6 +33,20 @@ type WireMetrics struct {
 	retries    int64 // share-pull attempts retried after transient failures
 	maxWords   int64 // largest single-pull word count: measured max per-round link load
 	maxBytes   int64
+
+	// Per-advance stage timing on this shard. Histograms are internally
+	// atomic, so they sit outside mu — observing a round never contends
+	// with the link counters.
+	stageFreeze metrics.Histogram
+	stagePull   metrics.Histogram
+	stageGather metrics.Histogram
+}
+
+// observeRoundStages records where one advance spent its time on this shard.
+func (m *WireMetrics) observeRoundStages(freeze, pull, gather time.Duration) {
+	m.stageFreeze.Observe(freeze)
+	m.stagePull.Observe(pull)
+	m.stageGather.Observe(gather)
 }
 
 // init sizes the per-link counters once membership settles.
@@ -182,6 +199,20 @@ func (m *WireMetrics) WritePrometheus(w io.Writer) error {
 			"cdrw_cluster_pull_retries_total %d\n",
 		m.pulls, m.rounds, m.coordBytes, m.maxWords, m.maxBytes,
 		m.evictions, m.reaped, m.retries); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP cdrw_cluster_round_seconds Per-stage advance time on this shard (freeze outgoing shares, pull ghost shares, gather next-step mass).\n"+
+			"# TYPE cdrw_cluster_round_seconds summary\n"); err != nil {
+		return err
+	}
+	if err := m.stageFreeze.WriteSummary(w, "cdrw_cluster_round_seconds", `stage="freeze"`); err != nil {
+		return err
+	}
+	if err := m.stagePull.WriteSummary(w, "cdrw_cluster_round_seconds", `stage="pull"`); err != nil {
+		return err
+	}
+	if err := m.stageGather.WriteSummary(w, "cdrw_cluster_round_seconds", `stage="gather"`); err != nil {
 		return err
 	}
 	if m.k > 0 {

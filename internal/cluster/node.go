@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"cdrw/internal/serve"
+	"cdrw/internal/trace"
 )
 
 // errCluster is the sentinel every cluster-machinery failure wraps; serve
@@ -189,11 +191,13 @@ func (n *Node) Start() {
 func (n *Node) Stop() {
 	n.mu.Lock()
 	started := n.started
+	open := len(n.sessions)
 	n.mu.Unlock()
 	select {
 	case <-n.stop:
 	default:
 		close(n.stop)
+		slog.Info("cluster node stopping", "advertise", n.cfg.Advertise, "open_sessions", open)
 	}
 	if started {
 		<-n.done
@@ -239,7 +243,7 @@ func (n *Node) loop() {
 			miss[peer]++
 			if miss[peer] >= heartbeatMisses {
 				delete(miss, peer)
-				n.evict(peer)
+				n.evict(peer, "missed liveness probes")
 			}
 		}
 	}
@@ -283,7 +287,7 @@ func (n *Node) peersSnapshot() []string {
 // every session is dropped — all of them span the full roster, so all are
 // orphaned by the loss. The member map keeps gossiping afterwards, so a
 // restarted peer that re-joins re-settles the membership.
-func (n *Node) evict(peer string) {
+func (n *Node) evict(peer, reason string) {
 	n.mu.Lock()
 	if _, ok := n.members[peer]; !ok {
 		n.mu.Unlock()
@@ -300,8 +304,11 @@ func (n *Node) evict(peer string) {
 	n.mu.Unlock()
 	for _, s := range orphans {
 		s.close()
+		slog.Info("cluster session closed", "session", s.id, "reason", "peer evicted", "peer", peer)
 	}
 	n.metrics.addEviction()
+	slog.Warn("cluster peer evicted", "peer", peer, "reason", reason,
+		"orphaned_sessions", len(orphans), "advertise", n.cfg.Advertise)
 }
 
 // reapSessions drops sessions whose driver has stopped heartbeating — the
@@ -322,6 +329,7 @@ func (n *Node) reapSessions() {
 	for _, s := range dead {
 		s.close()
 		n.metrics.addReaped()
+		slog.Info("cluster session reaped", "session", s.id, "reason", "driver went silent", "ttl", ttl)
 	}
 }
 
@@ -372,6 +380,7 @@ func (n *Node) checkSettledLocked() {
 	n.self = sort.SearchStrings(n.ranks, n.cfg.Advertise)
 	n.settled = true
 	n.metrics.init(n.cfg.Size)
+	slog.Info("cluster membership settled", "rank", n.self, "size", n.cfg.Size, "advertise", n.cfg.Advertise)
 }
 
 func memberList(m map[string]struct{}) []string {
@@ -411,7 +420,16 @@ func (n *Node) Status() serve.ClusterStatus {
 func (n *Node) Metrics() *WireMetrics { return &n.metrics }
 
 // WriteMetrics implements serve.ClusterBackend.
-func (n *Node) WriteMetrics(w io.Writer) error { return n.metrics.WritePrometheus(w) }
+func (n *Node) WriteMetrics(w io.Writer) error {
+	if err := n.metrics.WritePrometheus(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP cdrw_cluster_open_sessions Live detection sessions on this shard.\n"+
+			"# TYPE cdrw_cluster_open_sessions gauge\n"+
+			"cdrw_cluster_open_sessions %d\n", n.sessionCount())
+	return err
+}
 
 // sessionCount reports live sessions (leak assertions in tests).
 func (n *Node) sessionCount() int {
@@ -479,6 +497,7 @@ func (n *Node) createSession(req sessionRequest) error {
 		return fmt.Errorf("%w: duplicate session %q", errCluster, req.Session)
 	}
 	n.sessions[req.Session] = s
+	slog.Debug("cluster session created", "session", req.Session, "graph", req.Graph, "rank", self)
 	return nil
 }
 
@@ -491,6 +510,7 @@ func (n *Node) dropSession(id string) {
 	n.mu.Unlock()
 	if s != nil {
 		s.close()
+		slog.Debug("cluster session closed", "session", id, "reason", "dropped")
 	}
 }
 
@@ -596,6 +616,12 @@ func (n *Node) post(ctx context.Context, url string, v, out any, wire *int64) (i
 		return 0, fmt.Errorf("%w: %v", errCluster, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the request trace across the cluster: every peer POST of a
+	// traced detection carries the driver's request id, so shard logs and
+	// the driver's trace stitch into one story.
+	if id := trace.FromContext(ctx).ID(); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("%w: post %s: %v", errCluster, url, err)

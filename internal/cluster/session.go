@@ -102,6 +102,7 @@ func (s *session) advance(ctx context.Context, req advanceRequest) (advanceRespo
 		return advanceResponse{}, fmt.Errorf("%w: session %s: advance round %d after round %d", errCluster, s.id, req.Round, s.round)
 	}
 	walks := len(req.Support)
+	start := time.Now()
 
 	// Freeze: per peer with a shared link, the shares of our boundary
 	// vertices that carry mass this round. Shares are frozen as
@@ -116,6 +117,7 @@ func (s *session) advance(ctx context.Context, req advanceRequest) (advanceRespo
 	close(s.frozenC)
 	s.frozenC = make(chan struct{})
 	s.mu.Unlock()
+	frozenAt := time.Now()
 
 	// Pull ghost shares from every peer we share a boundary with, in
 	// parallel. The pull count is the measured link load.
@@ -138,6 +140,7 @@ func (s *session) advance(ctx context.Context, req advanceRequest) (advanceRespo
 			return advanceResponse{}, err
 		}
 	}
+	pulledAt := time.Now()
 
 	// Gather: next[u] = Σ share(w) over u's CSR neighbour order; isolated
 	// vertices keep their mass.
@@ -187,6 +190,16 @@ func (s *session) advance(ctx context.Context, req advanceRequest) (advanceRespo
 		}
 	}
 	s.round = req.Round
+	// Stage attribution: histograms on this shard's /metrics, exact
+	// nanoseconds back to the driver for its trace's per-shard spans.
+	freeze, pull := frozenAt.Sub(start), pulledAt.Sub(frozenAt)
+	gather := time.Since(pulledAt)
+	s.node.metrics.observeRoundStages(freeze, pull, gather)
+	resp.T = &advanceTiming{
+		FreezeNS: freeze.Nanoseconds(),
+		PullNS:   pull.Nanoseconds(),
+		GatherNS: gather.Nanoseconds(),
+	}
 	return resp, nil
 }
 

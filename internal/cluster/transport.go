@@ -35,6 +35,20 @@ type roundTransport struct {
 	self   int
 	round  int
 	local  *session
+
+	// stats accumulates each shard's reported stage nanoseconds across the
+	// detection's rounds; the driver folds them into the request trace as
+	// one span per rank when it cleans up. Written only in the merge loop
+	// after wg.Wait, so no locking.
+	stats []shardStat
+}
+
+// shardStat is one shard's accumulated advance timing over a detection.
+type shardStat struct {
+	freezeNS int64
+	pullNS   int64
+	gatherNS int64
+	rounds   int
 }
 
 func (t *roundTransport) Flood(ctx context.Context, frames []congest.FloodFrame) error {
@@ -106,6 +120,12 @@ func (t *roundTransport) Flood(ctx context.Context, frames []congest.FloodFrame)
 			for _, e := range sup {
 				next[e.V] = e.S
 			}
+		}
+		if resp.T != nil && t.stats != nil {
+			t.stats[m].freezeNS += resp.T.FreezeNS
+			t.stats[m].pullNS += resp.T.PullNS
+			t.stats[m].gatherNS += resp.T.GatherNS
+			t.stats[m].rounds++
 		}
 	}
 	t.node.metrics.addRounds(1)

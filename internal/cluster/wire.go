@@ -48,11 +48,24 @@ type advanceRequest struct {
 	Support [][]entry `json:"support"`
 }
 
+// advanceTiming reports where one advance spent its time on the shard, in
+// nanoseconds: freezing outgoing boundary shares, pulling ghost shares
+// from peers, and gathering next-step mass. The driver folds these into
+// the request trace's per-shard spans. Optional and compatible both ways:
+// a shard that omits it leaves the driver's spans empty, a driver that
+// ignores it costs nothing.
+type advanceTiming struct {
+	FreezeNS int64 `json:"freeze_ns"`
+	PullNS   int64 `json:"pull_ns"`
+	GatherNS int64 `json:"gather_ns"`
+}
+
 // advanceResponse returns the next-step distribution of the shard's owned
 // vertices, sparse, one slice per walk of the request.
 type advanceResponse struct {
-	Round   int       `json:"round"`
-	Support [][]entry `json:"support"`
+	Round   int            `json:"round"`
+	Support [][]entry      `json:"support"`
+	T       *advanceTiming `json:"t,omitempty"`
 }
 
 // heartbeatRequest is one driver liveness beat for a session; the shard

@@ -3,10 +3,12 @@ package congest
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // This file implements batched multi-source CONGEST detection: several seed
@@ -137,10 +139,19 @@ func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error)
 		}
 		// Flood phase: one shared round advances every live walk's
 		// distribution (Algorithm 1 lines 9–11, batched).
+		var t0 time.Time
+		if nw.tr != nil {
+			t0 = time.Now()
+		}
 		nw.beginPhase()
 		batchFlood(nw, walks, degInv, counts)
 		nw.endPhase()
 
+		var t1 time.Time
+		if nw.tr != nil {
+			t1 = time.Now()
+			nw.tr.AddPhase(trace.PhaseFlood, t1.Sub(t0))
+		}
 		// Search phase: each live walk runs its whole candidate-size ladder;
 		// the walks' broadcast/convergecast rounds overlap into shared
 		// rounds, so the phase costs the slowest walk's rounds.
@@ -175,6 +186,9 @@ func detectBatch(nw *Network, seeds []int, cfg Config) ([]BatchDetection, error)
 			}
 		}
 		nw.endPhase()
+		if nw.tr != nil {
+			nw.tr.AddPhase(trace.PhaseSweep, time.Since(t1))
+		}
 	}
 
 	out := make([]BatchDetection, len(walks))

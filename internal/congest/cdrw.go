@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // Config parameterises a distributed CDRW run. The zero value is not valid;
@@ -177,9 +179,21 @@ func detectCommunity(nw *Network, s int, cfg Config) ([]int, CommunityStats, err
 	ladder := rw.SizeLadderWithGrowth(cfg.MinCommunitySize, n, growth)
 	for l := 1; l <= cfg.MaxWalkLength; l++ {
 		stats.WalkLength = l
+		var t0 time.Time
+		if nw.tr != nil {
+			t0 = time.Now()
+		}
 		ws.flood(nw)
 
+		var t1 time.Time
+		if nw.tr != nil {
+			t1 = time.Now()
+			nw.tr.AddPhase(trace.PhaseFlood, t1.Sub(t0))
+		}
 		curSet, err := nw.largestMixingSet(tree, covered, ws.p, x, ladder, threshold)
+		if nw.tr != nil {
+			nw.tr.AddPhase(trace.PhaseSweep, time.Since(t1))
+		}
 		if err != nil {
 			return nil, stats, fmt.Errorf("congest: walk length %d: %w", l, err)
 		}

@@ -20,6 +20,7 @@ import (
 
 	"cdrw/internal/graph"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // Metrics accumulates the two CONGEST complexity measures.
@@ -100,9 +101,12 @@ type Network struct {
 	// ctx is the run context installed by the context-aware entry points
 	// (DetectContext and friends); the round scheduler polls it so a
 	// cancelled caller stops burning simulated rounds. ctxErr caches the
-	// first observed context error for the duration of the run.
+	// first observed context error for the duration of the run. tr is the
+	// request trace carried by that context (nil = untraced): the round
+	// loop attributes flood and sweep time to it.
 	ctx    context.Context
 	ctxErr error
+	tr     *trace.Trace
 
 	// transport, when non-nil, executes the numeric part of every flood
 	// round (SetFloodTransport); transportErr is the run's first transport
@@ -176,6 +180,7 @@ func (nw *Network) observing() bool { return nw.observer != nil || nw.loadObs !=
 // the network's idle state) clean of the previous run's sticky transport
 // error.
 func (nw *Network) setContext(ctx context.Context) {
+	nw.tr = trace.FromContext(ctx)
 	if ctx == context.Background() {
 		ctx = nil // nothing to poll; keep the scheduler check free
 	}

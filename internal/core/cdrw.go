@@ -19,6 +19,7 @@ import (
 	"cdrw/internal/congest"
 	"cdrw/internal/graph"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // DefaultDelta is the stop-rule slack used when the caller supplies no
@@ -52,6 +53,12 @@ type config struct {
 	// transport is WithCongestTransport's pluggable flood-round transport,
 	// installed on the CONGEST network (nil = in-memory kernels).
 	transport congest.FloodTransport
+
+	// tr is the run's request trace, looked up from the context at
+	// beginRun (nil = untraced). Like observer and transport it never
+	// enters Settings or fingerprints: it cannot change results, only
+	// attribute their time.
+	tr *trace.Trace
 }
 
 // Option customises a CDRW run.
@@ -393,28 +400,34 @@ func detectCommunity(ctx context.Context, g *graph.Graph, eng *rw.WalkEngine, tr
 		if err := ctx.Err(); err != nil {
 			return nil, trk.stats, err
 		}
+		timed := cfg.observer != nil || cfg.tr != nil
 		var t0 time.Time
-		if cfg.observer != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		eng.Step()
 		var t1 time.Time
-		if cfg.observer != nil {
+		if timed {
 			t1 = time.Now()
 		}
 		cur, err := cfg.sweep(g, eng)
 		if err != nil {
 			return nil, trk.stats, err
 		}
-		if cfg.observer != nil {
-			cfg.observer(StepTiming{
-				Seed:        s,
-				Step:        l,
-				Support:     eng.SupportSize(),
-				SparseSweep: eng.Sparse() && !cfg.denseSweep,
-				StepNS:      t1.Sub(t0).Nanoseconds(),
-				SweepNS:     time.Since(t1).Nanoseconds(),
-			})
+		if timed {
+			sweepNS := time.Since(t1).Nanoseconds()
+			cfg.tr.AddPhase(trace.PhaseWalk, t1.Sub(t0))
+			cfg.tr.AddPhase(trace.PhaseSweep, time.Duration(sweepNS))
+			if cfg.observer != nil {
+				cfg.observer(StepTiming{
+					Seed:        s,
+					Step:        l,
+					Support:     eng.SupportSize(),
+					SparseSweep: eng.Sparse() && !cfg.denseSweep,
+					StepNS:      t1.Sub(t0).Nanoseconds(),
+					SweepNS:     sweepNS,
+				})
+			}
 		}
 		if trk.observe(l, cur) {
 			return trk.outSet, trk.stats, nil

@@ -10,6 +10,7 @@ import (
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // errStreamStop unwinds a Detect run whose Stream consumer stopped early.
@@ -197,6 +198,9 @@ func (d *Detector) beginRun(ctx context.Context) *config {
 	d.runCfg = d.cfg
 	if d.runCtx != nil {
 		d.runCfg.mix.Interrupt = d.interrupt
+		// The trace rides the context; the lookup is allocation-free and
+		// only non-Background contexts can carry one.
+		d.runCfg.tr = trace.FromContext(ctx)
 	}
 	return &d.runCfg
 }

@@ -11,6 +11,7 @@ import (
 	"cdrw/internal/graph"
 	"cdrw/internal/rng"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // parTask is one unit of walker work: advance walk i at walk length l. A
@@ -144,13 +145,14 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 			errs[i] = err
 			return
 		}
+		timed := cfg.observer != nil || cfg.tr != nil
 		var t0 time.Time
-		if cfg.observer != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		batch.StepWalk(i)
 		var t1 time.Time
-		if cfg.observer != nil {
+		if timed {
 			t1 = time.Now()
 		}
 		var cur rw.MixingSet
@@ -165,16 +167,22 @@ func (d *Detector) detectParallel(ctx context.Context) (*Result, error) {
 			cancel() // first error cancels the sibling walkers
 			return
 		}
-		if cfg.observer != nil {
-			eng := batch.Engine(i)
-			cfg.observer(StepTiming{
-				Seed:        seeds[i],
-				Step:        l,
-				Support:     eng.SupportSize(),
-				SparseSweep: eng.Sparse() && !cfg.denseSweep,
-				StepNS:      t1.Sub(t0).Nanoseconds(),
-				SweepNS:     time.Since(t1).Nanoseconds(),
-			})
+		if timed {
+			sweepNS := time.Since(t1).Nanoseconds()
+			// AddPhase is atomic; the worker goroutines all land here.
+			cfg.tr.AddPhase(trace.PhaseWalk, t1.Sub(t0))
+			cfg.tr.AddPhase(trace.PhaseSweep, time.Duration(sweepNS))
+			if cfg.observer != nil {
+				eng := batch.Engine(i)
+				cfg.observer(StepTiming{
+					Seed:        seeds[i],
+					Step:        l,
+					Support:     eng.SupportSize(),
+					SparseSweep: eng.Sparse() && !cfg.denseSweep,
+					StepNS:      t1.Sub(t0).Nanoseconds(),
+					SweepNS:     sweepNS,
+				})
+			}
 		}
 		trackers[i].observe(l, cur)
 	}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two duration buckets: bucket i
+// holds durations in [2^(i-1), 2^i) nanoseconds, so 64 buckets cover every
+// representable duration.
+const latencyBuckets = 64
+
+// Histogram is a lock-free power-of-two duration histogram with sum and
+// count, shared by the request-latency, per-phase and cluster round-stage
+// metrics. The zero value is ready to use; Observe costs three uncontended
+// atomic adds, and quantile estimates are within a factor √2 of the true
+// value — all a /metrics endpoint needs.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [latencyBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[bits.Len64(uint64(ns))%latencyBuckets].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNS reports the summed observations in nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sumNS.Load() }
+
+// Mean reports the mean observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if c := h.count.Load(); c > 0 {
+		return time.Duration(h.sumNS.Load() / c)
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile: the bucket holding the q·count-th
+// observation is located by a cumulative scan and its geometric midpoint
+// returned. An empty histogram reports 0, as does the sub-nanosecond
+// bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := int64(0)
+	var counts [latencyBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Bucket i holds [2^(i-1), 2^i); return its geometric midpoint.
+			lo := math.Exp2(float64(i - 1))
+			return time.Duration(lo * math.Sqrt2)
+		}
+	}
+	return 0
+}
+
+// WriteSummary renders the histogram as one Prometheus summary family:
+// p50/p99 quantile series plus _sum and _count. labels ("" for none) is
+// the pre-rendered inner label set, e.g. `phase="walk"`, merged with the
+// quantile label on the quantile series. Callers emit the # HELP/# TYPE
+// header once per family themselves (several label values share one
+// family).
+func (h *Histogram) WriteSummary(w io.Writer, name, labels string) error {
+	q50, q99, suffix := `{quantile="0.5"}`, `{quantile="0.99"}`, ""
+	if labels != "" {
+		q50 = "{" + labels + `,quantile="0.5"}`
+		q99 = "{" + labels + `,quantile="0.99"}`
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w,
+		"%s%s %g\n%s%s %g\n%s_sum%s %g\n%s_count%s %d\n",
+		name, q50, h.Quantile(0.50).Seconds(),
+		name, q99, h.Quantile(0.99).Seconds(),
+		name, suffix, (time.Duration(h.SumNS()) * time.Nanosecond).Seconds(),
+		name, suffix, h.Count())
+	return err
+}

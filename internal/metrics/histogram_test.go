@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cdrw/internal/trace"
+)
+
+// TestHistogramEmpty: every quantile of an empty histogram is zero — no
+// divide-by-zero, no phantom bucket.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.SumNS() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram reports non-zero aggregates")
+	}
+}
+
+// TestHistogramSingleBucket: with all observations in one bucket, every
+// quantile resolves to that bucket's geometric midpoint, within the
+// factor-√2 bound of the true value.
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 != p99 {
+		t.Fatalf("single-bucket quantiles differ: p50 %v p99 %v", p50, p99)
+	}
+	lo, hi := float64(time.Millisecond)/math.Sqrt2, float64(time.Millisecond)*math.Sqrt2
+	if f := float64(p50); f < lo || f > hi {
+		t.Fatalf("p50 %v outside factor-√2 bound of 1ms", p50)
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("mean %v, want 1ms", h.Mean())
+	}
+}
+
+// TestHistogramSaturating: extreme durations — zero, negative, and the
+// maximum representable — land in real buckets without panicking, and the
+// quantile scan reaches the top bucket.
+func TestHistogramSaturating(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(time.Duration(math.MaxInt64))
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	// Rank 1 and 2 sit in bucket 0 (sub-nanosecond), reported as 0.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 %v, want 0 (bucket-0 convention)", got)
+	}
+	// Rank 3 is the max duration; the top bucket's midpoint must come back
+	// positive and enormous, not overflowed to something tiny or negative.
+	p99 := h.Quantile(0.99)
+	if p99 <= 0 || p99 < time.Duration(math.MaxInt64)/2 {
+		t.Fatalf("p99 %v does not sit in the top bucket", p99)
+	}
+	// SumNS ignores the clamped negative and keeps the rest.
+	if h.SumNS() != math.MaxInt64 {
+		t.Fatalf("sum %d, want MaxInt64", h.SumNS())
+	}
+}
+
+func TestHistogramWriteSummaryLabels(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	var b strings.Builder
+	if err := h.WriteSummary(&b, "x_seconds", `phase="walk"`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds{phase="walk",quantile="0.5"} `,
+		`x_seconds{phase="walk",quantile="0.99"} `,
+		`x_seconds_sum{phase="walk"} 0.002`,
+		`x_seconds_count{phase="walk"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := h.WriteSummary(&b, "y_seconds", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "y_seconds_count 1") {
+		t.Fatalf("unlabelled summary malformed:\n%s", b.String())
+	}
+}
+
+// TestServeMetricsPhases: phase observations surface as one
+// cdrw_phase_seconds family with every phase present even at zero count.
+func TestServeMetricsPhases(t *testing.T) {
+	m := NewServeMetrics()
+	m.ObservePhase(trace.PhaseWalk, 3*time.Millisecond)
+	m.ObservePhase(trace.PhaseCache, time.Millisecond)
+	m.ObservePhase(trace.NumPhases, time.Hour) // out of range: dropped
+	if m.PhaseCount(trace.PhaseWalk) != 1 || m.PhaseCount(trace.NumPhases) != 0 {
+		t.Fatal("phase counts off")
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, p := range trace.Phases() {
+		if !strings.Contains(out, `cdrw_phase_seconds_count{phase="`+p.String()+`"} `) {
+			t.Fatalf("phase %s missing from exposition:\n%s", p, out)
+		}
+	}
+	if !strings.Contains(out, `cdrw_phase_seconds_sum{phase="walk"} 0.003`) {
+		t.Fatalf("walk sum missing:\n%s", out)
+	}
+}
+
+func TestWriteRuntime(t *testing.T) {
+	var b strings.Builder
+	if err := WriteRuntime(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cdrw_goroutines ",
+		"cdrw_heap_alloc_bytes ",
+		`cdrw_gc_pause_seconds{quantile="0.99"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime gauges missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// WriteRuntime renders Go runtime liveness gauges in the Prometheus text
+// format: goroutine count, live heap bytes, and the 99th-percentile GC
+// pause over the runtime's retained pause history (its last 256 cycles).
+// These are point-in-time reads — ReadMemStats costs a brief
+// stop-the-world, which is fine at scrape cadence but keep it off hot
+// paths.
+func WriteRuntime(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	n := ms.NumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	var p99 time.Duration
+	if n > 0 {
+		rank := (int(n)*99 + 99) / 100 // ceil(0.99·n), 1-based
+		if rank > int(n) {
+			rank = int(n)
+		}
+		p99 = time.Duration(pauses[rank-1])
+	}
+
+	_, err := fmt.Fprintf(w,
+		"# HELP cdrw_goroutines Goroutines currently running.\n"+
+			"# TYPE cdrw_goroutines gauge\n"+
+			"cdrw_goroutines %d\n"+
+			"# HELP cdrw_heap_alloc_bytes Bytes of allocated heap objects.\n"+
+			"# TYPE cdrw_heap_alloc_bytes gauge\n"+
+			"cdrw_heap_alloc_bytes %d\n"+
+			"# HELP cdrw_gc_pause_seconds GC stop-the-world pause over the retained pause history.\n"+
+			"# TYPE cdrw_gc_pause_seconds summary\n"+
+			"cdrw_gc_pause_seconds{quantile=\"0.99\"} %g\n"+
+			"cdrw_gc_pause_seconds_count %d\n",
+		runtime.NumGoroutine(), ms.HeapAlloc, p99.Seconds(), ms.NumGC)
+	return err
+}

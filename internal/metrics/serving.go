@@ -3,38 +3,39 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"math"
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"cdrw/internal/trace"
 )
 
 // This file carries the serving-side counters of the cdrwd daemon and the
 // DetectorPool/Registry layer (internal/serve): request and error counts,
 // result-cache hits and misses, singleflight collapses, pool checkout waits,
-// and a request-latency histogram with p50/p99 estimates. Everything is
-// lock-free (atomics only) so the hot serving path pays a handful of
-// uncontended atomic adds per request.
-
-// latencyBuckets is the number of power-of-two latency buckets: bucket i
-// holds durations in [2^(i-1), 2^i) nanoseconds, so 64 buckets cover every
-// representable duration.
-const latencyBuckets = 64
+// a request-latency histogram with p50/p99 estimates, and per-phase
+// histograms attributing that latency to walk / sweep / flood / peer-pull /
+// cache time. Everything is lock-free (atomics only) so the hot serving
+// path pays a handful of uncontended atomic adds per request.
 
 // ServeMetrics aggregates the serving counters of one daemon (or one
 // Registry). All methods are safe for concurrent use. The zero value is
 // ready to use; NewServeMetrics exists for symmetry with the rest of the
 // API.
 type ServeMetrics struct {
-	requests   atomic.Int64
-	errors     atomic.Int64
-	cacheHits  atomic.Int64
-	cacheMiss  atomic.Int64
-	collapsed  atomic.Int64
-	poolWaits  atomic.Int64
-	latCount   atomic.Int64
-	latSumNS   atomic.Int64
-	latBuckets [latencyBuckets]atomic.Int64
+	requests  atomic.Int64
+	errors    atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	collapsed atomic.Int64
+	poolWaits atomic.Int64
+	latency   Histogram
+
+	// phases attributes request time to detection phases, fed from
+	// finished request traces (serve flushes each trace's per-phase
+	// totals here). Summed across phases, one request's observations
+	// reconstruct roughly its wall latency — peer_pull excepted, which
+	// is nested inside flood time.
+	phases [trace.NumPhases]Histogram
 
 	// Graph-mutation counters (Registry.ApplyDelta): deltas applied, the
 	// fate of the affected cache lines, and the generation-swap latency.
@@ -93,13 +94,24 @@ func (m *ServeMetrics) ObserveSwapLatency(d time.Duration) {
 
 // ObserveLatency records one request's wall time in the histogram.
 func (m *ServeMetrics) ObserveLatency(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
+	m.latency.Observe(d)
+}
+
+// ObservePhase attributes d to one detection phase's histogram.
+// Out-of-range phases are dropped.
+func (m *ServeMetrics) ObservePhase(p trace.Phase, d time.Duration) {
+	if p >= trace.NumPhases {
+		return
 	}
-	m.latCount.Add(1)
-	m.latSumNS.Add(ns)
-	m.latBuckets[bits.Len64(uint64(ns))%latencyBuckets].Add(1)
+	m.phases[p].Observe(d)
+}
+
+// PhaseCount reports how many observations phase p has received.
+func (m *ServeMetrics) PhaseCount(p trace.Phase) int64 {
+	if p >= trace.NumPhases {
+		return 0
+	}
+	return m.phases[p].Count()
 }
 
 // ServeSnapshot is a consistent-enough point-in-time copy of the counters
@@ -134,7 +146,7 @@ func (m *ServeMetrics) Snapshot() ServeSnapshot {
 		CacheMisses:  m.cacheMiss.Load(),
 		Collapsed:    m.collapsed.Load(),
 		PoolWaits:    m.poolWaits.Load(),
-		LatencyCount: m.latCount.Load(),
+		LatencyCount: m.latency.Count(),
 
 		DeltasApplied:        m.deltasApplied.Load(),
 		DeltaLinesKept:       m.deltaKept.Load(),
@@ -142,48 +154,13 @@ func (m *ServeMetrics) Snapshot() ServeSnapshot {
 		DeltaLinesEvicted:    m.deltaEvicted.Load(),
 		SwapCount:            m.swapCount.Load(),
 	}
-	if s.LatencyCount > 0 {
-		s.LatencyMean = time.Duration(m.latSumNS.Load() / s.LatencyCount)
-	}
+	s.LatencyMean = m.latency.Mean()
 	if s.SwapCount > 0 {
 		s.SwapMean = time.Duration(m.swapSumNS.Load() / s.SwapCount)
 	}
-	s.LatencyP50 = m.quantile(0.50)
-	s.LatencyP99 = m.quantile(0.99)
+	s.LatencyP50 = m.latency.Quantile(0.50)
+	s.LatencyP99 = m.latency.Quantile(0.99)
 	return s
-}
-
-// quantile estimates the q-quantile from the power-of-two histogram: the
-// bucket holding the q·count-th observation is located by a cumulative scan
-// and its geometric midpoint returned. The estimate is within a factor √2 of
-// the true quantile, which is all a /metrics endpoint needs.
-func (m *ServeMetrics) quantile(q float64) time.Duration {
-	total := int64(0)
-	var counts [latencyBuckets]int64
-	for i := range counts {
-		counts[i] = m.latBuckets[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	cum := int64(0)
-	for i, c := range counts {
-		cum += c
-		if cum >= rank {
-			if i == 0 {
-				return 0
-			}
-			// Bucket i holds [2^(i-1), 2^i); return its geometric midpoint.
-			lo := math.Exp2(float64(i - 1))
-			return time.Duration(lo * math.Sqrt2)
-		}
-	}
-	return 0
 }
 
 // WritePrometheus renders the counters in the Prometheus text exposition
@@ -234,11 +211,27 @@ func (m *ServeMetrics) WritePrometheus(w io.Writer) error {
 		s.Requests, s.Errors, s.CacheHits, s.CacheMisses, s.Collapsed,
 		s.PoolWaits,
 		s.LatencyP50.Seconds(), s.LatencyP99.Seconds(),
-		(time.Duration(m.latSumNS.Load()) * time.Nanosecond).Seconds(),
+		(time.Duration(m.latency.SumNS()) * time.Nanosecond).Seconds(),
 		s.LatencyCount,
 		s.DeltasApplied, s.DeltaLinesKept, s.DeltaLinesReverified,
 		s.DeltaLinesEvicted,
 		(time.Duration(m.swapSumNS.Load()) * time.Nanosecond).Seconds(),
 		s.SwapCount)
-	return err
+	if err != nil {
+		return err
+	}
+	// Per-phase histograms follow the counters. Every phase is rendered
+	// even at zero count so scrapers (and the CI smoke greps) see a
+	// stable series set from the first scrape.
+	if _, err := fmt.Fprint(w,
+		"# HELP cdrw_phase_seconds Request time attributed to detection phases (peer_pull is nested inside flood).\n"+
+			"# TYPE cdrw_phase_seconds summary\n"); err != nil {
+		return err
+	}
+	for _, p := range trace.Phases() {
+		if err := m.phases[p].WriteSummary(w, "cdrw_phase_seconds", `phase="`+p.String()+`"`); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"cdrw/internal/core"
@@ -14,6 +16,7 @@ import (
 	"cdrw/internal/graph"
 	"cdrw/internal/metrics"
 	"cdrw/internal/rng"
+	"cdrw/internal/trace"
 )
 
 // maxUploadBytes bounds edge-list uploads and JSON bodies (64 MiB is ~2.7M
@@ -128,6 +131,7 @@ type server struct {
 	reg     *Registry
 	m       *metrics.ServeMetrics
 	cluster ClusterBackend // nil in single-process mode
+	rec     *trace.Recorder
 }
 
 // NewHandler returns the cdrwd HTTP surface over reg:
@@ -160,11 +164,12 @@ func NewClusterHandler(reg *Registry, m *metrics.ServeMetrics, cb ClusterBackend
 }
 
 func newHandler(reg *Registry, m *metrics.ServeMetrics, cb ClusterBackend) http.Handler {
-	s := &server{reg: reg, m: m, cluster: cb}
+	s := &server{reg: reg, m: m, cluster: cb, rec: trace.NewRecorder(0)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("PUT /graphs/{name}", s.handleUpload)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
@@ -179,17 +184,68 @@ func newHandler(reg *Registry, m *metrics.ServeMetrics, cb ClusterBackend) http.
 	return s.instrument(mux)
 }
 
-// instrument counts every request and its latency. Errors are counted where
-// they are written (writeError), which sees the status decision.
+// instrument counts every request and its latency, and threads the request
+// trace. Every request gets an ID — accepted from an X-Request-Id header
+// (how cluster RPC spans stitch onto the driver's trace) or minted here —
+// and echoes it in the response. Only /graphs/ requests record a trace into
+// the ring: health probes, /metrics scrapes and the shard-to-shard protocol
+// (whose work is attributed to the driver's trace) would drown the real
+// detections. Errors are counted where they are written (writeError), which
+// sees the status decision.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = trace.NewID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		var t *trace.Trace
+		if strings.HasPrefix(r.URL.Path, "/graphs/") {
+			t = trace.NewAt(id, r.Method+" "+r.URL.Path, start)
+			r = r.WithContext(trace.NewContext(r.Context(), t))
+		}
 		if s.m != nil {
 			s.m.IncRequest()
-			start := time.Now()
-			defer func() { s.m.ObserveLatency(time.Since(start)) }()
 		}
 		next.ServeHTTP(w, r)
+		elapsed := time.Since(start)
+		if s.m != nil {
+			s.m.ObserveLatency(elapsed)
+		}
+		if t == nil {
+			return
+		}
+		t.Finish(elapsed)
+		s.rec.Add(t)
+		if s.m != nil {
+			for _, p := range trace.Phases() {
+				if ns := t.PhaseNS(p); ns > 0 {
+					s.m.ObservePhase(p, time.Duration(ns))
+				}
+			}
+		}
+		slog.Debug("request served", "request_id", id, "method", r.Method,
+			"path", r.URL.Path, "duration", elapsed)
 	})
+}
+
+// handleTraces serves the trace ring: the full newest-first listing, or one
+// trace by ?id=. 404 for an ID the ring no longer holds — traces are a
+// bounded flight recorder, not durable storage.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		t := s.rec.Get(id)
+		if t == nil {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: no trace %q", id))
+			return
+		}
+		writeJSON(w, t.Snapshot())
+		return
+	}
+	writeJSON(w, struct {
+		Traces []trace.Snapshot `json:"traces"`
+	}{Traces: s.rec.Snapshots()})
 }
 
 func (s *server) writeError(w http.ResponseWriter, status int, err error) {
@@ -274,6 +330,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.cluster != nil {
 		_ = s.cluster.WriteMetrics(w)
 	}
+	_ = metrics.WriteRuntime(w)
 }
 
 // graphInfoJSON is one registered graph in the listing.
@@ -478,6 +535,8 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errStatus(err), err)
 		return
 	}
+	slog.Debug("detection served", "request_id", trace.FromContext(r.Context()).ID(),
+		"graph", name, "engine", settings.Engine.String(), "cached", cached, "cluster", handled)
 	out := detectResponse{
 		Graph:       name,
 		Fingerprint: settings.Fingerprint(),
@@ -532,6 +591,8 @@ func (s *server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errStatus(err), err)
 		return
 	}
+	slog.Debug("community served", "request_id", trace.FromContext(r.Context()).ID(),
+		"graph", name, "seed", req.Seed, "cached", cached, "cluster", handled)
 	writeJSON(w, communityResponse{Graph: name, Cached: cached, Community: community, Stats: toStatsJSON(stats)})
 }
 

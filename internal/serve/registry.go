@@ -8,11 +8,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cdrw/internal/core"
 	"cdrw/internal/graph"
 	"cdrw/internal/metrics"
 	"cdrw/internal/rw"
+	"cdrw/internal/trace"
 )
 
 // ErrUnknownGraph reports a request against a name the registry does not
@@ -290,6 +292,18 @@ func (r *Registry) rememberLocked(key string) {
 // of inheriting the foreign cancellation. The returned Result is shared;
 // treat it as read-only.
 func (r *Registry) Detect(ctx context.Context, name string, opts ...core.Option) (*core.Result, core.Settings, bool, error) {
+	// Cache-phase attribution: everything from the request's start until
+	// this request either answers from the cache layer or commits to a
+	// live run — routing, body decode, pool resolution and the
+	// lookup/collapse dance all charge to "cache", so a pure hit's trace
+	// explains its whole latency. Measuring from the trace's own start
+	// keeps the traced hit path at a single clock read (the time.Since),
+	// which is what holds tracing inside its ≤5% overhead budget.
+	tr := trace.FromContext(ctx)
+	var cacheStart time.Time
+	if tr != nil {
+		cacheStart = tr.Start()
+	}
 	p, gen, settings, err := r.Pool(name, opts...)
 	if err != nil {
 		return nil, core.Settings{}, false, err
@@ -301,6 +315,9 @@ func (r *Registry) Detect(ctx context.Context, name string, opts ...core.Option)
 		r.mu.Lock()
 		if res, ok := r.cache[key]; ok {
 			r.mu.Unlock()
+			if tr != nil {
+				tr.AddPhase(trace.PhaseCache, time.Since(cacheStart))
+			}
 			if r.m != nil {
 				r.m.IncCacheHit()
 			}
@@ -322,10 +339,16 @@ func (r *Registry) Detect(ctx context.Context, name string, opts ...core.Option)
 			if leaderCancelled(lead.err) && ctx.Err() == nil {
 				continue // dead leader, live follower: take over
 			}
+			if tr != nil {
+				tr.AddPhase(trace.PhaseCache, time.Since(cacheStart))
+			}
 			return lead.res, settings, false, lead.err
 		case <-ctx.Done():
 			return nil, settings, false, fmt.Errorf("serve: %w", ctx.Err())
 		}
+	}
+	if tr != nil {
+		tr.AddPhase(trace.PhaseCache, time.Since(cacheStart))
 	}
 	if r.m != nil {
 		r.m.IncCacheMiss()
@@ -357,6 +380,11 @@ func leaderCancelled(err error) bool {
 // per (generation, fingerprint, seed) like Detect. The returned slice is
 // shared; treat it as read-only.
 func (r *Registry) DetectCommunity(ctx context.Context, name string, seed int, opts ...core.Option) ([]int, core.CommunityStats, bool, error) {
+	tr := trace.FromContext(ctx)
+	var cacheStart time.Time
+	if tr != nil {
+		cacheStart = tr.Start() // see Detect: one clock read on the hit path
+	}
 	p, gen, settings, err := r.Pool(name, opts...)
 	if err != nil {
 		return nil, core.CommunityStats{}, false, err
@@ -366,12 +394,18 @@ func (r *Registry) DetectCommunity(ctx context.Context, name string, seed int, o
 	r.mu.Lock()
 	if c, ok := r.comm[key]; ok {
 		r.mu.Unlock()
+		if tr != nil {
+			tr.AddPhase(trace.PhaseCache, time.Since(cacheStart))
+		}
 		if r.m != nil {
 			r.m.IncCacheHit()
 		}
 		return c.community, c.stats, true, nil
 	}
 	r.mu.Unlock()
+	if tr != nil {
+		tr.AddPhase(trace.PhaseCache, time.Since(cacheStart))
+	}
 	if r.m != nil {
 		r.m.IncCacheMiss()
 	}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cdrw/internal/trace"
+)
+
+// TestHTTPTraces drives the flight recorder end to end over the serving
+// surface: a detection request carrying an X-Request-Id must yield a
+// retrievable trace whose phase attribution explains the request, and the
+// header must round-trip (echoed when supplied, minted when absent).
+func TestHTTPTraces(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, http.MethodPost, srv.URL+"/graphs/g/generate",
+		strings.NewReader(`{"n":300,"r":3,"p":0.1,"q":0.005,"seed":7}`), http.StatusCreated, nil)
+
+	// Supplied request IDs are honoured and echoed.
+	const id = "feedc0dedeadbeef"
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/graphs/g/detect", strings.NewReader(`{"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != id {
+		t.Fatalf("detect echoed X-Request-Id %q, want %q", got, id)
+	}
+
+	// The trace is retrievable by ID and explains the request: a cold
+	// reference detection spends time walking and sweeping.
+	var snap trace.Snapshot
+	do(t, http.MethodGet, srv.URL+"/debug/traces?id="+id, nil, http.StatusOK, &snap)
+	if snap.ID != id {
+		t.Fatalf("trace ID %q, want %q", snap.ID, id)
+	}
+	if snap.Name != "POST /graphs/g/detect" {
+		t.Fatalf("trace name %q", snap.Name)
+	}
+	if snap.DurationSeconds <= 0 {
+		t.Fatalf("trace duration %v, want > 0", snap.DurationSeconds)
+	}
+	var phaseSum float64
+	for _, sec := range snap.PhaseSeconds {
+		phaseSum += sec
+	}
+	if snap.PhaseSeconds["walk"] <= 0 || snap.PhaseSeconds["sweep"] <= 0 {
+		t.Fatalf("cold detect phases %v, want walk and sweep time", snap.PhaseSeconds)
+	}
+	if phaseSum > snap.DurationSeconds {
+		t.Fatalf("phases sum to %v > request duration %v", phaseSum, snap.DurationSeconds)
+	}
+
+	// A repeat of the same request is a cache hit: its trace books cache
+	// time and no engine time.
+	req2, err := http.NewRequest(http.MethodPost, srv.URL+"/graphs/g/detect", strings.NewReader(`{"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("X-Request-Id", "cafebabecafebabe")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	var hit trace.Snapshot
+	do(t, http.MethodGet, srv.URL+"/debug/traces?id=cafebabecafebabe", nil, http.StatusOK, &hit)
+	if _, ok := hit.PhaseSeconds["cache"]; !ok {
+		t.Fatalf("cached detect phases %v, want cache time", hit.PhaseSeconds)
+	}
+	if _, ok := hit.PhaseSeconds["walk"]; ok {
+		t.Fatalf("cached detect phases %v, should not walk", hit.PhaseSeconds)
+	}
+
+	// The listing returns every retained trace, newest first.
+	var list struct {
+		Traces []trace.Snapshot `json:"traces"`
+	}
+	do(t, http.MethodGet, srv.URL+"/debug/traces", nil, http.StatusOK, &list)
+	if len(list.Traces) < 2 {
+		t.Fatalf("trace listing holds %d traces, want >= 2", len(list.Traces))
+	}
+	if list.Traces[0].ID != "cafebabecafebabe" {
+		t.Fatalf("newest trace is %q, want cafebabecafebabe", list.Traces[0].ID)
+	}
+
+	// Unknown IDs are 404; requests without a header get a minted ID; and
+	// non-/graphs/ endpoints never enter the ring.
+	do(t, http.MethodGet, srv.URL+"/debug/traces?id=nosuchtrace", nil, http.StatusNotFound, nil)
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	minted := hresp.Header.Get("X-Request-Id")
+	if len(minted) != 16 {
+		t.Fatalf("minted X-Request-Id %q, want 16 hex digits", minted)
+	}
+	do(t, http.MethodGet, srv.URL+"/debug/traces?id="+minted, nil, http.StatusNotFound, nil)
+}
+
+// TestMetricsPhaseExposition asserts /metrics carries the per-phase and
+// runtime series the scrape contracts (and CI greps) rely on.
+func TestMetricsPhaseExposition(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, http.MethodPost, srv.URL+"/graphs/g/generate",
+		strings.NewReader(`{"n":200,"r":2,"p":0.1,"q":0.01,"seed":3}`), http.StatusCreated, nil)
+	do(t, http.MethodPost, srv.URL+"/graphs/g/detect", strings.NewReader(`{"seed":1}`), http.StatusOK, nil)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`cdrw_phase_seconds{phase="walk",quantile="0.99"}`,
+		`cdrw_phase_seconds_count{phase="sweep"}`,
+		`cdrw_phase_seconds_count{phase="flood"}`,
+		"cdrw_goroutines",
+		"cdrw_heap_alloc_bytes",
+		"cdrw_gc_pause_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

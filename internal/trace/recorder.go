@@ -1,0 +1,79 @@
+package trace
+
+import "sync"
+
+// defaultRingSize is the Recorder capacity when the caller passes a
+// non-positive size.
+const defaultRingSize = 256
+
+// Recorder retains the most recent traces in a fixed ring. It is the
+// backing store of GET /debug/traces: bounded memory no matter the
+// request rate, newest-first listing, and lookup by request ID.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	n    int
+}
+
+// NewRecorder returns a recorder keeping the last size traces
+// (defaultRingSize when size <= 0).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	return &Recorder{ring: make([]*Trace, size)}
+}
+
+// Add retains t, evicting the oldest trace once the ring is full. Nil
+// recorders and nil traces are no-ops.
+func (r *Recorder) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the most recently added trace with the given ID, or nil.
+func (r *Recorder) Get(id string) *Trace {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]
+		if t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Snapshots renders every retained trace, newest first.
+func (r *Recorder) Snapshots() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	traces := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		if t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]; t != nil {
+			traces = append(traces, t)
+		}
+	}
+	r.mu.Unlock()
+	// Render outside the recorder lock: Snapshot takes each trace's own
+	// mutex and may be slow for span-heavy traces.
+	snaps := make([]Snapshot, len(traces))
+	for i, t := range traces {
+		snaps[i] = t.Snapshot()
+	}
+	return snaps
+}
